@@ -1,0 +1,208 @@
+// Package smfl_bench holds the benchmark harness: one testing.B benchmark
+// per paper table/figure (regenerating the artifact at a small scale each
+// iteration) plus kernel micro-benchmarks for the hot paths. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for paper-vs-measured values at larger scales.
+package smfl_bench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/experiments"
+	"github.com/spatialmf/smfl/internal/linalg"
+	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/spatial"
+)
+
+// benchOpts keeps a full table/figure regeneration inside a benchmark
+// iteration budget.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Scale: 0.004, Runs: 1, Seed: 1, MaxIter: 60,
+		Budget: 5 * time.Minute, Quiet: true,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	fn := experiments.ByID(id)
+	if fn == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper artifact (DESIGN.md §4). ---
+
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, "fig4b") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+
+// --- Ablation benchmarks (DESIGN.md §5). ---
+
+func BenchmarkAblationLandmarkSource(b *testing.B) { benchExperiment(b, "ablation-landmark-source") }
+func BenchmarkAblationUpdater(b *testing.B)        { benchExperiment(b, "ablation-updater") }
+func BenchmarkNeighborGraph(b *testing.B)          { benchExperiment(b, "ablation-graph") }
+
+// --- Core method benchmarks: the Fig. 9 efficiency claim in isolation.
+// SMFL should be at least as fast per fit as SMF (fewer V columns updated)
+// despite its extra K-means step. ---
+
+func benchFit(b *testing.B, method core.Method, n int) {
+	b.Helper()
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "bench", N: n, M: 8, L: 2,
+		Latents: 3, Bumps: 4, Clusters: 5, Noise: 0.03, Seed: 1, DominantShare: 0.6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		b.Fatal(err)
+	}
+	mask, err := dataset.InjectMissing(res.Data, dataset.MissingSpec{Rate: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{K: 6, Lambda: 0.1, P: 3, MaxIter: 100, Tol: 1e-9, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fit(res.Data.X, mask, res.Data.L, method, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitNMF(b *testing.B)  { benchFit(b, core.NMF, 600) }
+func BenchmarkFitSMF(b *testing.B)  { benchFit(b, core.SMF, 600) }
+func BenchmarkFitSMFL(b *testing.B) { benchFit(b, core.SMFL, 600) }
+
+// --- Kernel micro-benchmarks. ---
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := mat.RandomNormal(rng, 500, 100, 0, 1)
+	c := mat.RandomNormal(rng, 100, 50, 0, 1)
+	dst := mat.NewDense(500, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Mul(dst, a, c)
+	}
+}
+
+func BenchmarkMaskedProjection(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := mat.RandomNormal(rng, 1000, 13, 0, 1)
+	mask := mat.FullMask(1000, 13)
+	for i := 0; i < 1000; i += 3 {
+		mask.Hide(i, i%13)
+	}
+	dst := mat.NewDense(1000, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mask.Project(dst, x)
+	}
+}
+
+func BenchmarkGraphBuildKDTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	si := mat.RandomNormal(rng, 2000, 2, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spatial.BuildGraph(si, 3, spatial.KDTreeMode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphBuildBruteForce(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	si := mat.RandomNormal(rng, 2000, 2, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spatial.BuildGraph(si, 3, spatial.BruteForceMode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaplacianProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	si := mat.RandomNormal(rng, 2000, 2, 0, 1)
+	g, err := spatial.BuildGraph(si, 3, spatial.KDTreeMode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := mat.RandomNormal(rng, 2000, 10, 0, 1)
+	dst := mat.NewDense(2000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MulL(dst, u)
+	}
+}
+
+func BenchmarkJacobiSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := mat.RandomNormal(rng, 2000, 13, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.ComputeSVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTruncatedSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := mat.RandomNormal(rng, 2000, 13, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.TruncatedSVD(a, 8, 4, 2, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFoldIn(b *testing.B) {
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "bench", N: 500, M: 8, L: 2,
+		Latents: 3, Bumps: 4, Clusters: 5, Noise: 0.03, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		b.Fatal(err)
+	}
+	model, err := core.Fit(res.Data.X, nil, 2, core.SMFL, core.Config{K: 6, MaxIter: 60, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh := res.Data.X.Slice(0, 100, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.FoldIn(fresh, nil, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command datagen writes the synthetic paper datasets (and their
+// ground-truth cluster labels) to CSV files.
+//
+// Usage:
+//
+//	datagen -name Vehicle -scale 0.05 -seed 1 -out vehicle.csv [-labels vehicle_labels.csv]
+//	datagen -name all -scale 0.02 -dir ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/spatialmf/smfl/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes datagen; factored out of main for tests.
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("name", "all", "Economic | Farm | Lake | Vehicle | all")
+	scale := fs.Float64("scale", 0.02, "size relative to the paper's datasets")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("out", "", "output CSV path (single dataset)")
+	labels := fs.String("labels", "", "optional path for ground-truth cluster labels")
+	dir := fs.String("dir", ".", "output directory for -name all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *name == "all" {
+		for _, n := range dataset.PaperDatasets {
+			path := filepath.Join(*dir, strings.ToLower(n)+".csv")
+			if err := writeOne(n, *scale, *seed, path, ""); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "datagen: wrote %s\n", path)
+		}
+		return nil
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required for a single dataset")
+	}
+	return writeOne(*name, *scale, *seed, *out, *labels)
+}
+
+func writeOne(name string, scale float64, seed int64, out, labelsPath string) error {
+	res, err := dataset.ByName(name, scale, seed)
+	if err != nil {
+		return err
+	}
+	if err := res.Data.SaveCSV(out); err != nil {
+		return err
+	}
+	if labelsPath != "" {
+		f, err := os.Create(labelsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "row,cluster")
+		for i, l := range res.Labels {
+			fmt.Fprintf(f, "%d,%d\n", i, l)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/dataset"
+)
+
+func TestRunSingleDatasetWithLabels(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "lake.csv")
+	labels := filepath.Join(dir, "labels.csv")
+	var stderr bytes.Buffer
+	if err := run([]string{"-name", "Lake", "-scale", "0.002", "-out", out, "-labels", labels}, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadCSV(out, "Lake", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m := ds.Dims(); n < 100 || m != 7 {
+		t.Fatalf("shape %dx%d", n, m)
+	}
+	raw, err := os.ReadFile(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "row,cluster" {
+		t.Fatalf("labels header %q", lines[0])
+	}
+	n, _ := ds.Dims()
+	if len(lines) != n+1 {
+		t.Fatalf("labels lines = %d, want %d", len(lines), n+1)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	dir := t.TempDir()
+	var stderr bytes.Buffer
+	if err := run([]string{"-name", "all", "-scale", "0.002", "-dir", dir}, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"economic", "farm", "lake", "vehicle"} {
+		if _, err := os.Stat(filepath.Join(dir, n+".csv")); err != nil {
+			t.Fatalf("missing %s.csv: %v", n, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-name", "Lake"}, &stderr); err == nil {
+		t.Fatal("expected -out required error")
+	}
+	if err := run([]string{"-name", "Mars", "-out", "x.csv"}, &stderr); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errW bytes.Buffer
+	if err := run([]string{"list"}, &out, &errW); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table4", "table7", "fig5", "fig9"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list output missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentCSV(t *testing.T) {
+	var out, errW bytes.Buffer
+	err := run([]string{"run", "fig5", "-scale", "0.004", "-runs", "1", "-maxiter", "30", "-quiet", "-format", "csv"}, &out, &errW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // header + 3 variants
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "Variant,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunTableFormat(t *testing.T) {
+	var out, errW bytes.Buffer
+	err := run([]string{"run", "ablation-graph", "-scale", "0.004", "-quiet"}, &out, &errW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "KDTree") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errW bytes.Buffer
+	if err := run(nil, &out, &errW); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := run([]string{"run"}, &out, &errW); err == nil {
+		t.Fatal("expected missing-id error")
+	}
+	if err := run([]string{"run", "nope"}, &out, &errW); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+	if err := run([]string{"run", "fig5", "-format", "xml"}, &out, &errW); err == nil {
+		t.Fatal("expected unknown-format error")
+	}
+	if err := run([]string{"frobnicate"}, &out, &errW); err == nil {
+		t.Fatal("expected unknown-command error")
+	}
+}

@@ -1,0 +1,247 @@
+// Command smfl imputes, repairs or clusters a numeric CSV with spatial
+// information in its leading columns.
+//
+// Usage:
+//
+//	smfl impute  -in data.csv -out filled.csv [-l 2] [-method SMFL] [-k 10] [-lambda 0.1] [-p 3] [-savemodel m.smfl]
+//	smfl repair  -in data.csv -out repaired.csv [-l 2] [-threshold 6] ...
+//	smfl cluster -in data.csv [-l 2] [-k 5]
+//	smfl foldin  -model m.smfl -in new.csv -out filled.csv
+//
+// For impute, empty CSV cells mark the missing values. For repair, dirty
+// cells are found with the spatial-outlier detector. The table is min-max
+// normalized internally and written back in original units.
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/kmeans"
+	"github.com/spatialmf/smfl/internal/repair"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "smfl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one subcommand; factored out of main for tests.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return errors.New("usage: smfl impute|repair|cluster [flags]")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input CSV path (required)")
+	out := fs.String("out", "", "output CSV path (impute/repair)")
+	l := fs.Int("l", 2, "number of leading spatial-information columns")
+	methodName := fs.String("method", "SMFL", "NMF | SMF | SMFL")
+	k := fs.Int("k", 10, "latent features / landmarks / clusters")
+	lambda := fs.Float64("lambda", 0.1, "spatial regularization weight")
+	p := fs.Int("p", 3, "spatial nearest neighbors")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	maxIter := fs.Int("maxiter", 500, "iteration cap")
+	threshold := fs.Float64("threshold", 6, "repair: outlier detection threshold")
+	saveModel := fs.String("savemodel", "", "impute: also save the fitted model here")
+	modelPath := fs.String("model", "", "foldin: fitted model written by -savemodel")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("-in is required")
+	}
+	method, err := parseMethod(*methodName)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{K: *k, Lambda: *lambda, P: *p, Seed: *seed, MaxIter: *maxIter}
+
+	switch cmd {
+	case "impute":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		ds, mask, err := dataset.ReadCSVMasked(f, *in, *l)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		nz, err := dataset.FitNormalizer(ds.X, mask)
+		if err != nil {
+			return err
+		}
+		nz.Apply(ds.X)
+		xhat, model, err := core.Impute(ds.X, mask, ds.L, method, cfg)
+		if err != nil {
+			return err
+		}
+		nz.Invert(xhat)
+		ds.X = xhat
+		if err := writeOut(ds, *out, stdout); err != nil {
+			return err
+		}
+		if *saveModel != "" {
+			if err := saveArtifact(*saveModel, model, nz); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stderr, "smfl: imputed %d cells in %d iterations (converged=%v)\n",
+			mask.CountHidden(), model.Iters, model.Converged)
+
+	case "repair":
+		ds, err := dataset.LoadCSV(*in, *in, *l)
+		if err != nil {
+			return err
+		}
+		nz, err := ds.Normalize()
+		if err != nil {
+			return err
+		}
+		det := &repair.SpatialOutlierDetector{Threshold: *threshold}
+		dirty, err := det.Detect(ds.X, ds.L)
+		if err != nil {
+			return err
+		}
+		repaired, model, err := core.Repair(ds.X, dirty, ds.L, method, cfg)
+		if err != nil {
+			return err
+		}
+		nz.Invert(repaired)
+		ds.X = repaired
+		if err := writeOut(ds, *out, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "smfl: repaired %d suspicious cells in %d iterations\n",
+			dirty.Count(), model.Iters)
+
+	case "cluster":
+		ds, err := dataset.LoadCSV(*in, *in, *l)
+		if err != nil {
+			return err
+		}
+		if _, err := ds.Normalize(); err != nil {
+			return err
+		}
+		// The table is complete here (ReadCSV rejects holes), so the MF
+		// clustering application reduces to k-means on the normalized rows;
+		// the MF fit is still reported so the user can judge the factorization.
+		model, err := core.Fit(ds.X, nil, ds.L, method, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := kmeans.Run(ds.X, kmeans.Config{K: *k, Seed: *seed, Restarts: 3})
+		if err != nil {
+			return err
+		}
+		for i, lab := range res.Labels {
+			fmt.Fprintf(stdout, "%d,%d\n", i, lab)
+		}
+		fmt.Fprintf(stderr, "smfl: %s fit converged=%v in %d iterations; k-means cost %.4f\n",
+			model.Method, model.Converged, model.Iters, res.Cost)
+
+	case "foldin":
+		if *modelPath == "" {
+			return errors.New("foldin: -model is required")
+		}
+		model, nz, err := loadArtifact(*modelPath)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		ds, mask, err := dataset.ReadCSVMasked(f, *in, *l)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// New rows arrive in original units; apply the training
+		// normalization, complete, and map back.
+		nz.Apply(ds.X)
+		completed, err := model.CompleteRows(ds.X, mask, *maxIter)
+		if err != nil {
+			return err
+		}
+		nz.Invert(completed)
+		ds.X = completed
+		if err := writeOut(ds, *out, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "smfl: folded in %d rows, filled %d cells\n",
+			ds.X.Rows(), mask.CountHidden())
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch strings.ToUpper(s) {
+	case "NMF":
+		return core.NMF, nil
+	case "SMF":
+		return core.SMF, nil
+	case "SMFL":
+		return core.SMFL, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+// artifact bundles a fitted model with the training normalization so the
+// foldin subcommand can accept CSVs in original units.
+type artifact struct {
+	Model      []byte
+	Mins, Maxs []float64
+}
+
+func saveArtifact(path string, model *core.Model, nz *dataset.Normalizer) error {
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(&artifact{Model: buf.Bytes(), Mins: nz.Mins, Maxs: nz.Maxs})
+}
+
+func loadArtifact(path string) (*core.Model, *dataset.Normalizer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var a artifact
+	if err := gob.NewDecoder(f).Decode(&a); err != nil {
+		return nil, nil, err
+	}
+	model, err := core.Load(bytes.NewReader(a.Model))
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, &dataset.Normalizer{Mins: a.Mins, Maxs: a.Maxs}, nil
+}
+
+func writeOut(ds *dataset.Dataset, out string, stdout io.Writer) error {
+	if out == "" {
+		return ds.WriteCSV(stdout)
+	}
+	return ds.SaveCSV(out)
+}

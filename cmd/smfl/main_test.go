@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+)
+
+func writeTempCSV(t *testing.T, withHoles bool) string {
+	t.Helper()
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "cli", N: 120, M: 5, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 3, Noise: 0.03, Seed: 70,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := res.Data.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	if withHoles {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(string(raw), "\n")
+		// Blank the last field of a few data rows (header is line 0).
+		for _, li := range []int{3, 17, 42} {
+			fields := strings.Split(lines[li], ",")
+			fields[len(fields)-1] = ""
+			lines[li] = strings.Join(fields, ",")
+		}
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestParseMethod(t *testing.T) {
+	for name, want := range map[string]core.Method{"nmf": core.NMF, "SMF": core.SMF, "smfl": core.SMFL} {
+		got, err := parseMethod(name)
+		if err != nil || got != want {
+			t.Fatalf("parseMethod(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunImputeEndToEnd(t *testing.T) {
+	in := writeTempCSV(t, true)
+	out := filepath.Join(t.TempDir(), "filled.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"impute", "-in", in, "-out", out, "-k", "3", "-maxiter", "60"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "imputed 3 cells") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+	// Output must be a complete CSV: the strict reader accepts it.
+	filled, err := dataset.LoadCSV(out, "filled", 2)
+	if err != nil {
+		t.Fatalf("output not a complete CSV: %v", err)
+	}
+	if n, m := filled.Dims(); n != 120 || m != 5 {
+		t.Fatalf("output shape %dx%d", n, m)
+	}
+}
+
+func TestRunRepairEndToEnd(t *testing.T) {
+	in := writeTempCSV(t, false)
+	out := filepath.Join(t.TempDir(), "repaired.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"repair", "-in", in, "-out", out, "-k", "3", "-maxiter", "40", "-threshold", "8"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "repaired") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+	if _, err := dataset.LoadCSV(out, "repaired", 2); err != nil {
+		t.Fatalf("output unreadable: %v", err)
+	}
+}
+
+func TestRunClusterEndToEnd(t *testing.T) {
+	in := writeTempCSV(t, false)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"cluster", "-in", in, "-k", "3", "-maxiter", "30"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 120 {
+		t.Fatalf("expected 120 label lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], ",") {
+		t.Fatalf("bad label line %q", lines[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errW bytes.Buffer
+	if err := run(nil, &out, &errW); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := run([]string{"impute"}, &out, &errW); err == nil {
+		t.Fatal("expected -in required error")
+	}
+	if err := run([]string{"frobnicate", "-in", "x"}, &out, &errW); err == nil {
+		t.Fatal("expected unknown-command error")
+	}
+	if err := run([]string{"impute", "-in", "x.csv", "-method", "huh"}, &out, &errW); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+func TestRunImputeSaveModelAndFoldIn(t *testing.T) {
+	in := writeTempCSV(t, true)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "filled.csv")
+	modelPath := filepath.Join(dir, "model.smfl")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"impute", "-in", in, "-out", out, "-k", "3", "-maxiter", "40", "-savemodel", modelPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not saved: %v", err)
+	}
+	// Fold fresh rows (with a hole) through the saved model.
+	freshIn := writeTempCSV(t, true)
+	foldOut := filepath.Join(dir, "fold.csv")
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"foldin", "-model", modelPath, "-in", freshIn, "-out", foldOut, "-maxiter", "40"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("foldin: %v (stderr %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "folded in 120 rows") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+	if _, err := dataset.LoadCSV(foldOut, "fold", 2); err != nil {
+		t.Fatalf("fold output incomplete: %v", err)
+	}
+}
+
+func TestRunFoldinRequiresModel(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"foldin", "-in", "x.csv"}, &stdout, &stderr); err == nil {
+		t.Fatal("expected -model required error")
+	}
+}

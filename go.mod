@@ -1,0 +1,3 @@
+module github.com/spatialmf/smfl
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package cluster implements the clustering application of Section IV-B4:
+// extracting cluster labels from matrix-factorization coefficient matrices,
+// the PCA+k-means baseline, and the permutation-invariant accuracy criterion
+// computed with the Kuhn–Munkres (Hungarian) algorithm.
+package cluster
+
+import (
+	"errors"
+	"math"
+)
+
+// Hungarian solves the assignment problem for an n×n cost matrix, returning
+// the column assigned to each row that minimizes total cost. O(n³).
+func Hungarian(cost [][]float64) ([]int, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, errors.New("cluster: empty cost matrix")
+	}
+	for _, row := range cost {
+		if len(row) != n {
+			return nil, errors.New("cluster: cost matrix must be square")
+		}
+	}
+	// Classical O(n³) potentials implementation (1-indexed internals).
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign, nil
+}
+
+// Accuracy computes the paper's clustering criterion: the best label
+// permutation σ (via Kuhn–Munkres) of max_σ Σ δ(truth[i], σ(pred[i])) / n.
+func Accuracy(truth, pred []int) (float64, error) {
+	if len(truth) != len(pred) || len(truth) == 0 {
+		return 0, errors.New("cluster: label slices must be equal-length and nonempty")
+	}
+	k := 0
+	for i := range truth {
+		if truth[i] < 0 || pred[i] < 0 {
+			return 0, errors.New("cluster: labels must be nonnegative")
+		}
+		if truth[i]+1 > k {
+			k = truth[i] + 1
+		}
+		if pred[i]+1 > k {
+			k = pred[i] + 1
+		}
+	}
+	// Confusion counts: agree[p][t] = #(pred==p && truth==t).
+	agree := make([][]float64, k)
+	for i := range agree {
+		agree[i] = make([]float64, k)
+	}
+	for i := range truth {
+		agree[pred[i]][truth[i]]++
+	}
+	// Maximize agreement = minimize negative counts.
+	cost := make([][]float64, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		for j := range cost[i] {
+			cost[i][j] = -agree[i][j]
+		}
+	}
+	assign, err := Hungarian(cost)
+	if err != nil {
+		return 0, err
+	}
+	var correct float64
+	for p, t := range assign {
+		correct += agree[p][t]
+	}
+	return correct / float64(len(truth)), nil
+}

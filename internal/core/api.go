@@ -1,0 +1,24 @@
+package core
+
+import (
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Impute fits the chosen model on the observed entries of x and returns the
+// completed matrix X̂ per Formula 8, together with the fitted model.
+func Impute(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*mat.Dense, *Model, error) {
+	model, err := Fit(x, omega, l, method, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model.Recover(x, omega), model, nil
+}
+
+// Repair treats the dirty-cell mask Ψ (observed bits = DIRTY cells, as
+// produced by an error detector such as Raha in the paper) as the entries to
+// relearn: the model is fitted on the clean complement Ω = ¬Ψ and dirty
+// cells are replaced by the reconstruction.
+func Repair(x *mat.Dense, dirty *mat.Mask, l int, method Method, cfg Config) (*mat.Dense, *Model, error) {
+	omega := dirty.Complement()
+	return Impute(x, omega, l, method, cfg)
+}

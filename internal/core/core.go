@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: Spatial Matrix
+// Factorization with Landmarks (SMFL), together with the SMF and masked-NMF
+// family it builds upon and the gradient-descent variant used in the
+// ablation study.
+//
+// The optimization problem (Problem 2 of the paper) is
+//
+//	min_{U,V}  ‖R_Ω(X − UV)‖²_F + λ Tr(UᵀLU)
+//	s.t.       v_kj = c_kj for (k,j) ∈ Φ,   u_ij, v_ij ≥ 0
+//
+// where L is the graph Laplacian of the p-NN similarity graph over the
+// spatial information SI (the first L columns of X), and C holds the K-means
+// centers of SI — the landmarks that pin the spatial coordinates of the
+// learned features. The default solver is the multiplicative updating method
+// of Formulas 13/14, whose objective is provably non-increasing
+// (Propositions 5 and 7); see the convergence property tests.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/spatial"
+)
+
+// Method selects which member of the model family to fit.
+type Method int
+
+const (
+	// NMF is masked nonnegative matrix factorization (Formula 5): no
+	// spatial regularization, no landmarks.
+	NMF Method = iota
+	// SMF adds graph-Laplacian spatial regularization (Problem 1).
+	SMF
+	// SMFL adds K-means landmarks frozen into the first L columns of V
+	// (Problem 2) — the paper's proposal.
+	SMFL
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case NMF:
+		return "NMF"
+	case SMF:
+		return "SMF"
+	case SMFL:
+		return "SMFL"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Updater selects the optimization scheme.
+type Updater int
+
+const (
+	// Multiplicative is the self-adaptive scheme of Formulas 13/14 (default).
+	Multiplicative Updater = iota
+	// GradientDescent is the fixed-learning-rate scheme of Section III-B1,
+	// kept for the SMF-GD comparison in Fig. 5.
+	GradientDescent
+)
+
+// LandmarkSource selects how landmark values C are generated (ablation A3;
+// the paper uses KMeansCenters).
+type LandmarkSource int
+
+const (
+	// KMeansCenters sets C to the K-means cluster centers of SI (the paper's
+	// choice, Section III-A).
+	KMeansCenters LandmarkSource = iota
+	// RandomObservations samples K observed SI rows as landmarks.
+	RandomObservations
+	// UniformGrid lays landmarks on a near-square grid over the SI bounding
+	// box, ignoring where the data actually sits.
+	UniformGrid
+)
+
+// Config holds the hyperparameters of the model family. Zero values are
+// replaced by paper defaults in (*Config).withDefaults.
+type Config struct {
+	K       int     // latent features = number of landmarks (default 10)
+	Lambda  float64 // spatial regularization weight λ (default 0.1)
+	P       int     // spatial nearest neighbors p for D (default 3)
+	MaxIter int     // update iterations t₁ (default 500)
+	Tol     float64 // relative objective-change early-stop (default 1e-5)
+	Seed    int64   // RNG seed for inits, K-means, landmark sampling
+
+	KMeansMaxIter  int     // t₂ (default 300)
+	KMeansRestarts int     // default 1
+	LearningRate   float64 // GD only (default 1e-3)
+	Eps            float64 // denominator guard (default 1e-12)
+
+	Updater        Updater
+	LandmarkSource LandmarkSource
+	GraphMode      spatial.BuildMode // KD-tree by default
+
+	// Weights, when non-nil, turns the reconstruction term into the
+	// confidence-weighted ‖W^½ ⊙ R_Ω(X − UV)‖²_F: cells with larger weights
+	// are trusted more (e.g. per-sensor reliability). Shape must match X,
+	// entries must be nonnegative, and only the Multiplicative updater
+	// supports it. This is an extension beyond the paper; with W = 1 it
+	// reduces exactly to Problems 1/2.
+	Weights *mat.Dense
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.1
+	}
+	if c.P == 0 {
+		c.P = 3
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 500
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-5
+	}
+	if c.KMeansMaxIter == 0 {
+		c.KMeansMaxIter = 300
+	}
+	if c.KMeansRestarts == 0 {
+		c.KMeansRestarts = 1
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-12
+	}
+	return c
+}
+
+func (c Config) validate(n, m, l int, method Method) error {
+	if c.K < 1 {
+		return errors.New("core: K must be at least 1")
+	}
+	if c.K > n {
+		return fmt.Errorf("core: K=%d must be ≤ N=%d", c.K, n)
+	}
+	if c.Lambda < 0 {
+		return errors.New("core: Lambda must be nonnegative")
+	}
+	if c.P < 1 {
+		return errors.New("core: P must be at least 1")
+	}
+	if method != NMF && l < 1 {
+		return errors.New("core: spatial methods need at least one SI column")
+	}
+	if method == SMFL && l >= m {
+		return errors.New("core: SI cannot cover every column under SMFL")
+	}
+	return nil
+}
+
+// Model is a fitted factorization X ≈ U·V.
+type Model struct {
+	Method Method
+	Config Config
+	L      int // SI column count of the training matrix
+
+	U *mat.Dense // N×K coefficient matrix
+	V *mat.Dense // K×M feature matrix (first L columns = landmarks for SMFL)
+	C *mat.Dense // K×L landmark matrix (nil unless SMFL)
+
+	Objective []float64 // objective value after each iteration
+	Iters     int       // iterations actually run
+	Converged bool      // true when the Tol early stop fired
+}
+
+// Predict returns the reconstruction X* = U·V.
+func (m *Model) Predict() *mat.Dense { return mat.Mul(nil, m.U, m.V) }
+
+// Recover implements Formula 8: observed entries keep x, the rest take the
+// model prediction.
+func (m *Model) Recover(x *mat.Dense, omega *mat.Mask) *mat.Dense {
+	return omega.Recover(x, m.Predict())
+}
+
+// FeatureLocations returns the first L columns of V — the spatial positions
+// of the learned features visualized in Figs. 1 and 5.
+func (m *Model) FeatureLocations() *mat.Dense {
+	k, _ := m.V.Dims()
+	return m.V.Slice(0, k, 0, m.L)
+}

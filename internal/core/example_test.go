@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+)
+
+// Example demonstrates the canonical impute pipeline: generate a spatial
+// table, hide cells, fit SMFL, recover.
+func Example() {
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "demo", N: 200, M: 6, L: 2,
+		Latents: 3, Bumps: 4, Clusters: 4, Noise: 0.02, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		log.Fatal(err)
+	}
+	omega, err := dataset.InjectMissing(res.Data, dataset.MissingSpec{Rate: 0.1, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	xhat, model, err := core.Impute(res.Data.X, omega, res.Data.L, core.SMFL,
+		core.Config{K: 5, Lambda: 0.1, P: 3, Seed: 7, MaxIter: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ur, uc := model.U.Dims()
+	vr, vc := model.V.Dims()
+	cr, cc := model.C.Dims()
+	fmt.Printf("U: %dx%d  V: %dx%d  landmarks C: %dx%d\n", ur, uc, vr, vc, cr, cc)
+	fmt.Printf("completed matrix: %dx%d, hidden cells filled: %d\n",
+		xhat.Rows(), xhat.Cols(), omega.CountHidden())
+	// Output:
+	// U: 200x5  V: 5x6  landmarks C: 5x2
+	// completed matrix: 200x6, hidden cells filled: 75
+}
+
+// ExampleModel_FeatureLocations shows the interpretability hook of Figs. 1
+// and 5: the spatial positions of the learned features.
+func ExampleModel_FeatureLocations() {
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "demo", N: 150, M: 5, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 3, Noise: 0.02, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.Fit(res.Data.X, nil, res.Data.L, core.SMFL,
+		core.Config{K: 3, Seed: 9, MaxIter: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	locs := model.FeatureLocations()
+	r, c := locs.Dims()
+	fmt.Printf("%d features, %d spatial dimensions each\n", r, c)
+	// SMFL pins these to the K-means centers of the data, so every feature
+	// lies inside the observation range [0,1].
+	inside := true
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if locs.At(i, j) < 0 || locs.At(i, j) > 1 {
+				inside = false
+			}
+		}
+	}
+	fmt.Printf("all features inside the data range: %v\n", inside)
+	// Output:
+	// 3 features, 2 spatial dimensions each
+	// all features inside the data range: true
+}

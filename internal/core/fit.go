@@ -1,0 +1,315 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/spatial"
+)
+
+// Fit factorizes x ≈ U·V under the given method. omega marks the observed
+// entries Ω (nil means fully observed); l is the number of leading SI
+// columns. The input must be nonnegative over Ω — normalize to [0,1] first
+// (Section IV-A1).
+//
+// The SMFL pipeline follows Algorithm 1: build D and W from SI (filling
+// missing SI cells with column means for graph purposes only, Section II-C),
+// run K-means on SI for the landmark matrix C, inject C into V, then iterate
+// the multiplicative rules until convergence.
+func Fit(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*Model, error) {
+	n, m := x.Dims()
+	if n == 0 || m == 0 {
+		return nil, errors.New("core: empty input matrix")
+	}
+	if omega == nil {
+		omega = mat.FullMask(n, m)
+	}
+	if or, oc := omega.Dims(); or != n || oc != m {
+		return nil, fmt.Errorf("core: mask shape %dx%d vs data %dx%d", or, oc, n, m)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(n, m, l, method); err != nil {
+		return nil, err
+	}
+	rx := omega.Project(nil, x)
+	if !rx.IsFinite() {
+		return nil, errors.New("core: observed entries contain NaN or Inf")
+	}
+	if mat.Min(rx) < 0 {
+		return nil, errors.New("core: observed entries must be nonnegative (min-max normalize first)")
+	}
+	if w := cfg.Weights; w != nil {
+		if wr, wc := w.Dims(); wr != n || wc != m {
+			return nil, fmt.Errorf("core: weights shape %dx%d vs data %dx%d", wr, wc, n, m)
+		}
+		if !w.IsFinite() || mat.Min(w) < 0 {
+			return nil, errors.New("core: weights must be finite and nonnegative")
+		}
+		if cfg.Updater != Multiplicative {
+			return nil, errors.New("core: weighted objective requires the Multiplicative updater")
+		}
+	}
+
+	// Spatial structure (SMF and SMFL only).
+	var graph *spatial.Graph
+	var si *mat.Dense
+	if method != NMF {
+		si = siFilled(x, omega, l)
+		g, err := spatial.BuildGraph(si, cfg.P, cfg.GraphMode)
+		if err != nil {
+			return nil, err
+		}
+		graph = g
+	}
+
+	// Landmarks (SMFL only).
+	var c *mat.Dense
+	if method == SMFL {
+		var err error
+		c, err = generateLandmarks(si, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	model := &Model{Method: method, Config: cfg, L: l, C: c}
+	initFactors(model, n, m)
+	if c != nil {
+		injectLandmarks(model.V, c)
+	}
+
+	switch cfg.Updater {
+	case Multiplicative:
+		runMultiplicative(model, x, rx, omega, graph)
+	case GradientDescent:
+		runGradientDescent(model, x, rx, omega, graph)
+	default:
+		return nil, fmt.Errorf("core: unknown updater %d", cfg.Updater)
+	}
+	return model, nil
+}
+
+// siFilled copies the SI block and replaces hidden cells with column means,
+// used only for D construction and K-means (the values themselves are still
+// imputed by the factorization, per Section II-C).
+func siFilled(x *mat.Dense, omega *mat.Mask, l int) *mat.Dense {
+	n, _ := x.Dims()
+	si := x.Slice(0, n, 0, l)
+	for j := 0; j < l; j++ {
+		var sum float64
+		var cnt int
+		for i := 0; i < n; i++ {
+			if omega.Observed(i, j) {
+				sum += si.At(i, j)
+				cnt++
+			}
+		}
+		mean := 0.0
+		if cnt > 0 {
+			mean = sum / float64(cnt)
+		}
+		for i := 0; i < n; i++ {
+			if !omega.Observed(i, j) {
+				si.Set(i, j, mean)
+			}
+		}
+	}
+	return si
+}
+
+// initFactors fills U and V with standard uniform positives — the paper's
+// "randomly initialized" starting point for the multiplicative updates.
+func initFactors(model *Model, n, m int) {
+	cfg := model.Config
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model.U = mat.RandomUniform(rng, n, cfg.K, 1e-3, 1)
+	model.V = mat.RandomUniform(rng, cfg.K, m, 1e-3, 1)
+}
+
+// runMultiplicative iterates Formulas 13/14.
+func runMultiplicative(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph) {
+	cfg := model.Config
+	u, v := model.U, model.V
+	n, m := x.Dims()
+	k := cfg.K
+	lam := cfg.Lambda
+
+	startCol := 0
+	if model.Method == SMFL {
+		startCol = model.L // landmark columns are frozen
+	}
+
+	uv := mat.NewDense(n, m)
+	numU := mat.NewDense(n, k)
+	denU := mat.NewDense(n, k)
+	du := mat.NewDense(n, k)
+	wu := mat.NewDense(n, k)
+	numV := mat.NewDense(k, m)
+	denV := mat.NewDense(k, m)
+
+	// Confidence weighting (extension): fold W into R_Ω(X) once and into
+	// R_Ω(UV) each iteration; with W = 1 this is a no-op.
+	weights := cfg.Weights
+	if weights != nil {
+		rx = mat.Hadamard(nil, rx, weights) // local weighted copy
+	}
+
+	prevObj := math.Inf(1)
+	for it := 0; it < cfg.MaxIter; it++ {
+		// ---- U step: U ⊙ (R_Ω(X)Vᵀ + λDU) ⊘ (R_Ω(UV)Vᵀ + λWU) ----
+		mat.Mul(uv, u, v)
+		omega.Project(uv, uv)
+		if weights != nil {
+			mat.Hadamard(uv, uv, weights)
+		}
+		mat.MulBT(numU, rx, v)
+		mat.MulBT(denU, uv, v)
+		if graph != nil && lam > 0 {
+			graph.MulD(du, u)
+			graph.MulW(wu, u)
+			mat.AddScaled(numU, numU, lam, du)
+			mat.AddScaled(denU, denU, lam, wu)
+		}
+		ud := u.Data()
+		for i, uval := range ud {
+			ud[i] = uval * numU.Data()[i] / (denU.Data()[i] + cfg.Eps)
+		}
+
+		// ---- V step: V ⊙ (UᵀR_Ω(X)) ⊘ (UᵀR_Ω(UV)), landmark columns fixed ----
+		mat.Mul(uv, u, v)
+		omega.Project(uv, uv)
+		if weights != nil {
+			mat.Hadamard(uv, uv, weights)
+		}
+		atMulCols(numV, u, rx, startCol)
+		atMulCols(denV, u, uv, startCol)
+		for r := 0; r < k; r++ {
+			vr := v.Row(r)
+			nr := numV.Row(r)
+			dr := denV.Row(r)
+			for j := startCol; j < m; j++ {
+				vr[j] *= nr[j] / (dr[j] + cfg.Eps)
+			}
+		}
+
+		// ---- objective + early stop ----
+		mat.Mul(uv, u, v)
+		var obj float64
+		if weights != nil {
+			obj = omega.MaskedWeightedFrob2(x, uv, weights)
+		} else {
+			obj = omega.MaskedFrob2(x, uv)
+		}
+		if graph != nil && lam > 0 {
+			obj += lam * graph.QuadForm(u)
+		}
+		model.Objective = append(model.Objective, obj)
+		model.Iters = it + 1
+		if !math.IsInf(prevObj, 1) && math.Abs(prevObj-obj) <= cfg.Tol*math.Max(prevObj, 1e-12) {
+			model.Converged = true
+			break
+		}
+		prevObj = obj
+	}
+}
+
+// atMulCols stores (aᵀb)[:, c0:] into dst[:, c0:] (columns below c0 are left
+// untouched). Skipping the frozen landmark columns is exactly the reduced
+// computation the paper credits to landmarks (Section IV-E).
+func atMulCols(dst, a, b *mat.Dense, c0 int) {
+	n, k := a.Dims()
+	_, m := b.Dims()
+	for r := 0; r < k; r++ {
+		dr := dst.Row(r)
+		for j := c0; j < m; j++ {
+			dr[j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		ai := a.Row(i)
+		bi := b.Row(i)
+		for r := 0; r < k; r++ {
+			av := ai[r]
+			if av == 0 {
+				continue
+			}
+			dr := dst.Row(r)
+			for j := c0; j < m; j++ {
+				dr[j] += av * bi[j]
+			}
+		}
+	}
+}
+
+// runGradientDescent iterates the plain projected gradient scheme of
+// Section III-B1 (used by the SMF-GD ablation).
+func runGradientDescent(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph) {
+	cfg := model.Config
+	u, v := model.U, model.V
+	n, m := x.Dims()
+	k := cfg.K
+	lam := cfg.Lambda
+	lr := cfg.LearningRate
+
+	startCol := 0
+	if model.Method == SMFL {
+		startCol = model.L
+	}
+
+	uv := mat.NewDense(n, m)
+	gradU := mat.NewDense(n, k)
+	tmpU := mat.NewDense(n, k)
+	lu := mat.NewDense(n, k)
+	gradV := mat.NewDense(k, m)
+	tmpV := mat.NewDense(k, m)
+
+	prevObj := math.Inf(1)
+	for it := 0; it < cfg.MaxIter; it++ {
+		mat.Mul(uv, u, v)
+		omega.Project(uv, uv)
+
+		// ∂O/∂U = −2 R_Ω(X)Vᵀ + 2 R_Ω(UV)Vᵀ + 2λLU
+		mat.MulBT(gradU, uv, v)
+		mat.MulBT(tmpU, rx, v)
+		mat.Sub(gradU, gradU, tmpU)
+		if graph != nil && lam > 0 {
+			graph.MulL(lu, u)
+			mat.AddScaled(gradU, gradU, lam, lu)
+		}
+		mat.AddScaled(u, u, -2*lr, gradU)
+		u.ClampMin(0)
+
+		// ∂O/∂V = −2 UᵀR_Ω(X) + 2 UᵀR_Ω(UV); landmark columns frozen.
+		mat.Mul(uv, u, v)
+		omega.Project(uv, uv)
+		atMulCols(gradV, u, uv, startCol)
+		atMulCols(tmpV, u, rx, startCol)
+		for r := 0; r < k; r++ {
+			vr := v.Row(r)
+			gr := gradV.Row(r)
+			tr := tmpV.Row(r)
+			for j := startCol; j < m; j++ {
+				vr[j] -= 2 * lr * (gr[j] - tr[j])
+				if vr[j] < 0 {
+					vr[j] = 0
+				}
+			}
+		}
+
+		mat.Mul(uv, u, v)
+		obj := omega.MaskedFrob2(x, uv)
+		if graph != nil && lam > 0 {
+			obj += lam * graph.QuadForm(u)
+		}
+		model.Objective = append(model.Objective, obj)
+		model.Iters = it + 1
+		if !math.IsInf(prevObj, 1) && math.Abs(prevObj-obj) <= cfg.Tol*math.Max(prevObj, 1e-12) {
+			model.Converged = true
+			break
+		}
+		prevObj = obj
+	}
+}

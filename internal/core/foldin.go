@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// FoldIn computes coefficient rows for out-of-sample tuples against the
+// fitted feature matrix V, without refitting the whole model — the streaming
+// complement to Fit for deployments where new sensor rows arrive after
+// training. Each new row's u is obtained by the masked multiplicative rule
+// with V held fixed:
+//
+//	u ← u ⊙ (R_Ω(x)Vᵀ) ⊘ (R_Ω(uV)Vᵀ)
+//
+// which is Formula 13 restricted to the reconstruction term (a new row has
+// no edges in the training graph, so the Laplacian terms vanish).
+// rows is R×M in the same normalized units as the training matrix; omega
+// marks its observed entries (nil = fully observed). It returns the R×K
+// coefficient block.
+func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense, error) {
+	r, cols := rows.Dims()
+	_, vm := m.V.Dims()
+	if cols != vm {
+		return nil, fmt.Errorf("core: FoldIn rows have %d columns, model has %d", cols, vm)
+	}
+	if r == 0 {
+		return nil, errors.New("core: FoldIn needs at least one row")
+	}
+	if omega == nil {
+		omega = mat.FullMask(r, cols)
+	}
+	if or, oc := omega.Dims(); or != r || oc != cols {
+		return nil, errors.New("core: FoldIn mask shape mismatch")
+	}
+	rx := omega.Project(nil, rows)
+	if !rx.IsFinite() || mat.Min(rx) < 0 {
+		return nil, errors.New("core: FoldIn rows must be finite and nonnegative over Ω")
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	k := m.Config.K
+	rng := rand.New(rand.NewSource(m.Config.Seed + 1))
+	u := mat.RandomUniform(rng, r, k, 1e-3, 1)
+	uv := mat.NewDense(r, cols)
+	num := mat.NewDense(r, k)
+	den := mat.NewDense(r, k)
+	eps := m.Config.Eps
+	if eps == 0 {
+		eps = 1e-12
+	}
+	prev := math.Inf(1)
+	for it := 0; it < iters; it++ {
+		mat.Mul(uv, u, m.V)
+		omega.Project(uv, uv)
+		mat.MulBT(num, rx, m.V)
+		mat.MulBT(den, uv, m.V)
+		ud, nd, dd := u.Data(), num.Data(), den.Data()
+		for i, v := range ud {
+			ud[i] = v * nd[i] / (dd[i] + eps)
+		}
+		mat.Mul(uv, u, m.V)
+		obj := omega.MaskedFrob2(rows, uv)
+		if !math.IsInf(prev, 1) && math.Abs(prev-obj) <= 1e-8*math.Max(prev, 1e-12) {
+			break
+		}
+		prev = obj
+	}
+	return u, nil
+}
+
+// CompleteRows imputes out-of-sample rows with the fitted model: hidden
+// cells take the fold-in reconstruction, observed cells are kept.
+func (m *Model) CompleteRows(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense, error) {
+	r, cols := rows.Dims()
+	if omega == nil {
+		omega = mat.FullMask(r, cols)
+	}
+	u, err := m.FoldIn(rows, omega, iters)
+	if err != nil {
+		return nil, err
+	}
+	pred := mat.Mul(nil, u, m.V)
+	return omega.Recover(rows, pred), nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/metrics"
+)
+
+// foldInFixture fits SMFL on the first part of a dataset and returns the
+// model plus a held-out tail in the same normalized units.
+func foldInFixture(t *testing.T) (*Model, *mat.Dense) {
+	t.Helper()
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "fold", N: 300, M: 6, L: 2,
+		Latents: 3, Bumps: 4, Clusters: 4, Noise: 0.02, Seed: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	train := res.Data.X.Slice(0, 240, 0, 6)
+	test := res.Data.X.Slice(240, 300, 0, 6)
+	model, err := Fit(train, nil, 2, SMFL, Config{K: 5, Lambda: 0.1, MaxIter: 200, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, test
+}
+
+func TestFoldInShapesAndNonnegativity(t *testing.T) {
+	model, test := foldInFixture(t)
+	u, err := model.FoldIn(test, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := u.Dims(); r != 60 || c != 5 {
+		t.Fatalf("fold-in U shape %dx%d", r, c)
+	}
+	if mat.Min(u) < 0 {
+		t.Fatal("fold-in violated nonnegativity")
+	}
+	if !u.IsFinite() {
+		t.Fatal("fold-in produced non-finite coefficients")
+	}
+}
+
+func TestCompleteRowsBeatsColumnMeans(t *testing.T) {
+	model, test := foldInFixture(t)
+	n, m := test.Dims()
+	omega := mat.FullMask(n, m)
+	for i := 0; i < n; i++ {
+		for j := 2; j < m; j++ {
+			if (i+j)%4 == 0 {
+				omega.Hide(i, j)
+			}
+		}
+	}
+	out, err := model.CompleteRows(test, omega, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := metrics.RMSOverHidden(out, test, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-mean floor over the test block.
+	meanFill := test.Clone()
+	if err := dataset.FillColumnMeans(meanFill, omega); err != nil {
+		t.Fatal(err)
+	}
+	meanRMS, err := metrics.RMSOverHidden(meanFill, test, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms >= meanRMS {
+		t.Fatalf("fold-in RMS %v not better than column means %v", rms, meanRMS)
+	}
+}
+
+func TestCompleteRowsKeepsObserved(t *testing.T) {
+	model, test := foldInFixture(t)
+	n, m := test.Dims()
+	omega := mat.FullMask(n, m)
+	omega.Hide(3, 4)
+	out, err := model.CompleteRows(test, omega, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if omega.Observed(i, j) && out.At(i, j) != test.At(i, j) {
+				t.Fatalf("observed cell (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestFoldInValidation(t *testing.T) {
+	model, test := foldInFixture(t)
+	if _, err := model.FoldIn(mat.NewDense(2, 9), nil, 10); err == nil {
+		t.Fatal("expected column mismatch error")
+	}
+	if _, err := model.FoldIn(mat.NewDense(0, 6), nil, 10); err == nil {
+		t.Fatal("expected empty error")
+	}
+	neg := test.Clone()
+	neg.Set(0, 0, -1)
+	if _, err := model.FoldIn(neg, nil, 10); err == nil {
+		t.Fatal("expected nonnegativity error")
+	}
+	if _, err := model.FoldIn(test, mat.FullMask(1, 6), 10); err == nil {
+		t.Fatal("expected mask shape error")
+	}
+}
+
+func TestFoldInReconstructsTrainingRows(t *testing.T) {
+	// Folding the training rows themselves back in must reconstruct them
+	// about as well as the fitted model does.
+	model, _ := foldInFixture(t)
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "fold", N: 300, M: 6, L: 2,
+		Latents: 3, Bumps: 4, Clusters: 4, Noise: 0.02, Seed: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	train := res.Data.X.Slice(0, 240, 0, 6)
+	u, err := model.FoldIn(train, nil, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foldErr := mat.FrobNorm(mat.Sub(nil, mat.Mul(nil, u, model.V), train))
+	fitErr := mat.FrobNorm(mat.Sub(nil, model.Predict(), train))
+	if foldErr > 1.5*fitErr+1e-9 {
+		t.Fatalf("fold-in reconstruction %v much worse than fit %v", foldErr, fitErr)
+	}
+}

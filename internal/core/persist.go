@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// modelWire is the gob-encodable image of a fitted Model. Matrices travel
+// through their binary marshalers (see internal/mat/serialize.go).
+type modelWire struct {
+	Method    Method
+	Config    configWire
+	L         int
+	U, V, C   []byte
+	Objective []float64
+	Iters     int
+	Converged bool
+}
+
+// configWire mirrors Config minus the non-serializable Weights matrix (a
+// training-time input, not part of the fitted state).
+type configWire struct {
+	K              int
+	Lambda         float64
+	P              int
+	MaxIter        int
+	Tol            float64
+	Seed           int64
+	KMeansMaxIter  int
+	KMeansRestarts int
+	LearningRate   float64
+	Eps            float64
+	Updater        Updater
+	LandmarkSource LandmarkSource
+}
+
+// Save serializes the fitted model (gob container with binary matrices).
+// Deploy pattern: Fit offline, Save, then Load + FoldIn/CompleteRows online.
+func (m *Model) Save(w io.Writer) error {
+	if m.U == nil || m.V == nil {
+		return errors.New("core: cannot save an unfitted model")
+	}
+	u, err := m.U.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	v, err := m.V.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var c []byte
+	if m.C != nil {
+		if c, err = m.C.MarshalBinary(); err != nil {
+			return err
+		}
+	}
+	cfg := m.Config
+	wire := modelWire{
+		Method: m.Method,
+		Config: configWire{
+			K: cfg.K, Lambda: cfg.Lambda, P: cfg.P, MaxIter: cfg.MaxIter,
+			Tol: cfg.Tol, Seed: cfg.Seed, KMeansMaxIter: cfg.KMeansMaxIter,
+			KMeansRestarts: cfg.KMeansRestarts, LearningRate: cfg.LearningRate,
+			Eps: cfg.Eps, Updater: cfg.Updater, LandmarkSource: cfg.LandmarkSource,
+		},
+		L: m.L, U: u, V: v, C: c,
+		Objective: m.Objective, Iters: m.Iters, Converged: m.Converged,
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	u := new(mat.Dense)
+	if err := u.UnmarshalBinary(wire.U); err != nil {
+		return nil, err
+	}
+	v := new(mat.Dense)
+	if err := v.UnmarshalBinary(wire.V); err != nil {
+		return nil, err
+	}
+	var c *mat.Dense
+	if len(wire.C) > 0 {
+		c = new(mat.Dense)
+		if err := c.UnmarshalBinary(wire.C); err != nil {
+			return nil, err
+		}
+	}
+	cw := wire.Config
+	return &Model{
+		Method: wire.Method,
+		Config: Config{
+			K: cw.K, Lambda: cw.Lambda, P: cw.P, MaxIter: cw.MaxIter,
+			Tol: cw.Tol, Seed: cw.Seed, KMeansMaxIter: cw.KMeansMaxIter,
+			KMeansRestarts: cw.KMeansRestarts, LearningRate: cw.LearningRate,
+			Eps: cw.Eps, Updater: cw.Updater, LandmarkSource: cw.LandmarkSource,
+		},
+		L: wire.L, U: u, V: v, C: c,
+		Objective: wire.Objective, Iters: wire.Iters, Converged: wire.Converged,
+	}, nil
+}
+
+// SaveFile writes the model to a file path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// LoadFile reads a model written by SaveFile.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	x, omega, l := testProblem(t, 120, 80)
+	orig, err := Fit(x, omega, l, SMFL, quickCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(got.U, orig.U, 0) || !mat.EqualApprox(got.V, orig.V, 0) {
+		t.Fatal("factors changed through serialization")
+	}
+	if !mat.EqualApprox(got.C, orig.C, 0) {
+		t.Fatal("landmarks changed through serialization")
+	}
+	if got.Method != SMFL || got.L != l || got.Iters != orig.Iters || got.Converged != orig.Converged {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if got.Config.K != orig.Config.K || got.Config.Lambda != orig.Config.Lambda {
+		t.Fatal("config mismatch")
+	}
+	if len(got.Objective) != len(orig.Objective) {
+		t.Fatal("objective trace lost")
+	}
+}
+
+func TestLoadedModelServesFoldIn(t *testing.T) {
+	x, omega, l := testProblem(t, 120, 81)
+	orig, err := Fit(x, omega, l, SMFL, quickCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := x.Slice(0, 10, 0, x.Cols())
+	a, err := orig.FoldIn(fresh, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.FoldIn(fresh, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(a, b, 0) {
+		t.Fatal("loaded model folds in differently")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	x, omega, l := testProblem(t, 100, 82)
+	orig, err := Fit(x, omega, l, SMF, quickCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.smfl")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(got.V, orig.V, 0) {
+		t.Fatal("file round trip lost data")
+	}
+	if got.C != nil {
+		t.Fatal("SMF model should have no landmarks after load")
+	}
+}
+
+func TestSaveUnfittedFails(t *testing.T) {
+	var m Model
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("expected error saving an unfitted model")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a model")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestDenseMaskBinaryRoundTrip(t *testing.T) {
+	d := mat.FromRows([][]float64{{1.5, -2}, {0, 3.25}})
+	raw, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := new(mat.Dense)
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(d, back, 0) {
+		t.Fatal("Dense round trip failed")
+	}
+	if err := back.UnmarshalBinary(raw[:10]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+
+	mk := mat.NewMask(3, 5)
+	mk.Observe(1, 2)
+	mk.Observe(2, 4)
+	rawM, err := mk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backM := new(mat.Mask)
+	if err := backM.UnmarshalBinary(rawM); err != nil {
+		t.Fatal(err)
+	}
+	if !mk.Equal(backM) {
+		t.Fatal("Mask round trip failed")
+	}
+	if err := backM.UnmarshalBinary(raw); err == nil {
+		t.Fatal("expected magic mismatch error")
+	}
+}

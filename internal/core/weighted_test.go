@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+func TestWeightedReducesToUnweightedWithOnes(t *testing.T) {
+	x, omega, l := testProblem(t, 120, 40)
+	n, m := x.Dims()
+	ones := mat.NewDense(n, m)
+	ones.Fill(1)
+	cfgU := quickCfg(4)
+	cfgW := quickCfg(4)
+	cfgW.Weights = ones
+	a, err := Fit(x, omega, l, SMFL, cfgU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, omega, l, SMFL, cfgW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(a.U, b.U, 1e-12) || !mat.EqualApprox(a.V, b.V, 1e-12) {
+		t.Fatal("W=1 weighted fit differs from unweighted fit")
+	}
+}
+
+func TestWeightedObjectiveNonIncreasing(t *testing.T) {
+	x, omega, l := testProblem(t, 100, 41)
+	n, m := x.Dims()
+	w := mat.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			w.Set(i, j, 0.2+float64((i+j)%5)) // heterogeneous weights
+		}
+	}
+	cfg := quickCfg(4)
+	cfg.Weights = w
+	model, err := Fit(x, omega, l, SMF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(model.Objective); i++ {
+		if model.Objective[i] > model.Objective[i-1]*(1+1e-9)+1e-12 {
+			t.Fatalf("weighted objective increased at iter %d", i)
+		}
+	}
+}
+
+func TestWeightsSteerTheFit(t *testing.T) {
+	// Corrupt one column's observed values but give them near-zero weight:
+	// the weighted fit must track the clean structure on that column far
+	// better than an unweighted fit that trusts the corruption.
+	x, omega, l := testProblem(t, 160, 42)
+	clean := x.Clone()
+	n, m := x.Dims()
+	badCol := m - 1
+	corrupted := x.Clone()
+	for i := 0; i < n; i += 2 {
+		if omega.Observed(i, badCol) {
+			corrupted.Set(i, badCol, 1-corrupted.At(i, badCol)) // flip
+		}
+	}
+	w := mat.NewDense(n, m)
+	w.Fill(1)
+	for i := 0; i < n; i += 2 {
+		w.Set(i, badCol, 1e-6)
+	}
+	cfgW := quickCfg(4)
+	cfgW.Weights = w
+	cfgW.MaxIter = 200
+	weighted, err := Fit(corrupted, omega, l, SMFL, cfgW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgU := quickCfg(4)
+	cfgU.MaxIter = 200
+	unweighted, err := Fit(corrupted, omega, l, SMFL, cfgU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare reconstructions of the corrupted cells against the CLEAN truth.
+	var errW, errU float64
+	pw, pu := weighted.Predict(), unweighted.Predict()
+	for i := 0; i < n; i += 2 {
+		if !omega.Observed(i, badCol) {
+			continue
+		}
+		dW := pw.At(i, badCol) - clean.At(i, badCol)
+		dU := pu.At(i, badCol) - clean.At(i, badCol)
+		errW += dW * dW
+		errU += dU * dU
+	}
+	if errW >= errU {
+		t.Fatalf("weighting did not help: weighted %v vs unweighted %v", errW, errU)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	x, omega, l := testProblem(t, 60, 43)
+	cfg := quickCfg(3)
+	cfg.Weights = mat.NewDense(2, 2)
+	if _, err := Fit(x, omega, l, SMF, cfg); err == nil {
+		t.Fatal("expected weight shape error")
+	}
+	n, m := x.Dims()
+	neg := mat.NewDense(n, m)
+	neg.Set(0, 0, -1)
+	cfg.Weights = neg
+	if _, err := Fit(x, omega, l, SMF, cfg); err == nil {
+		t.Fatal("expected negative-weight error")
+	}
+	nanW := mat.NewDense(n, m)
+	nanW.Set(0, 0, math.NaN())
+	cfg.Weights = nanW
+	if _, err := Fit(x, omega, l, SMF, cfg); err == nil {
+		t.Fatal("expected NaN-weight error")
+	}
+	ok := mat.NewDense(n, m)
+	ok.Fill(1)
+	cfg.Weights = ok
+	cfg.Updater = GradientDescent
+	if _, err := Fit(x, omega, l, SMF, cfg); err == nil {
+		t.Fatal("expected GD-unsupported error")
+	}
+}

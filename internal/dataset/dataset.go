@@ -1,0 +1,172 @@
+// Package dataset provides the tabular spatial-data container used across
+// the SMFL reproduction: column-named matrices whose first L columns are
+// spatial information (SI), min-max normalization, missing-value and error
+// injection for the imputation/repair experiments, CSV I/O, and seeded
+// synthetic generators standing in for the paper's four real-world datasets
+// (see DESIGN.md §2 for the substitution rationale).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Dataset is an N×M spatial table. The first L columns are the spatial
+// information SI (latitude/longitude in the paper's running example).
+type Dataset struct {
+	Name    string
+	Columns []string
+	L       int // number of leading spatial-information columns
+	X       *mat.Dense
+}
+
+// New validates and assembles a Dataset.
+func New(name string, columns []string, l int, x *mat.Dense) (*Dataset, error) {
+	_, m := x.Dims()
+	if len(columns) != m {
+		return nil, fmt.Errorf("dataset: %d column names for %d columns", len(columns), m)
+	}
+	if l < 0 || l > m {
+		return nil, fmt.Errorf("dataset: L=%d out of range [0,%d]", l, m)
+	}
+	return &Dataset{Name: name, Columns: columns, L: l, X: x}, nil
+}
+
+// Dims returns the table shape.
+func (d *Dataset) Dims() (n, m int) { return d.X.Dims() }
+
+// SI returns a copy of the spatial-information block (N×L).
+func (d *Dataset) SI() *mat.Dense {
+	n, _ := d.X.Dims()
+	return d.X.Slice(0, n, 0, d.L)
+}
+
+// Clone deep-copies the dataset.
+func (d *Dataset) Clone() *Dataset {
+	cols := make([]string, len(d.Columns))
+	copy(cols, d.Columns)
+	return &Dataset{Name: d.Name, Columns: cols, L: d.L, X: d.X.Clone()}
+}
+
+// Head returns a copy of the first n rows (fewer if the table is shorter).
+func (d *Dataset) Head(n int) *Dataset {
+	rows, cols := d.X.Dims()
+	if n > rows {
+		n = rows
+	}
+	out := d.Clone()
+	out.X = d.X.Slice(0, n, 0, cols)
+	return out
+}
+
+// Normalizer rescales columns to [0,1] by min-max (Section IV-A1) and can
+// invert the mapping.
+type Normalizer struct {
+	Mins, Maxs []float64
+}
+
+// FitNormalizer computes per-column min/max over observed entries only.
+// A nil mask means all entries are observed.
+func FitNormalizer(x *mat.Dense, mask *mat.Mask) (*Normalizer, error) {
+	n, m := x.Dims()
+	nz := &Normalizer{Mins: make([]float64, m), Maxs: make([]float64, m)}
+	for j := 0; j < m; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if mask != nil && !mask.Observed(i, j) {
+				continue
+			}
+			v := x.At(i, j)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: non-finite value at (%d,%d)", i, j)
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if math.IsInf(lo, 1) {
+			return nil, fmt.Errorf("dataset: column %d has no observed entries", j)
+		}
+		nz.Mins[j], nz.Maxs[j] = lo, hi
+	}
+	return nz, nil
+}
+
+// Apply rescales x in place to [0,1]; constant columns map to 0.5.
+func (nz *Normalizer) Apply(x *mat.Dense) {
+	n, m := x.Dims()
+	if m != len(nz.Mins) {
+		panic("dataset: Normalizer column count mismatch")
+	}
+	for j := 0; j < m; j++ {
+		span := nz.Maxs[j] - nz.Mins[j]
+		for i := 0; i < n; i++ {
+			if span == 0 {
+				x.Set(i, j, 0.5)
+				continue
+			}
+			x.Set(i, j, (x.At(i, j)-nz.Mins[j])/span)
+		}
+	}
+}
+
+// Invert maps x back to original units in place.
+func (nz *Normalizer) Invert(x *mat.Dense) {
+	n, m := x.Dims()
+	if m != len(nz.Mins) {
+		panic("dataset: Normalizer column count mismatch")
+	}
+	for j := 0; j < m; j++ {
+		span := nz.Maxs[j] - nz.Mins[j]
+		for i := 0; i < n; i++ {
+			if span == 0 {
+				x.Set(i, j, nz.Mins[j])
+				continue
+			}
+			x.Set(i, j, x.At(i, j)*span+nz.Mins[j])
+		}
+	}
+}
+
+// Normalize rescales the dataset in place and returns the fitted Normalizer.
+func (d *Dataset) Normalize() (*Normalizer, error) {
+	nz, err := FitNormalizer(d.X, nil)
+	if err != nil {
+		return nil, err
+	}
+	nz.Apply(d.X)
+	return nz, nil
+}
+
+// FillColumnMeans replaces hidden entries of x with the mean of the observed
+// entries in the same column (in place). The paper uses this to initialize
+// missing SI cells before computing the similarity matrix D (Section II-C).
+func FillColumnMeans(x *mat.Dense, mask *mat.Mask) error {
+	n, m := x.Dims()
+	for j := 0; j < m; j++ {
+		var sum float64
+		var cnt int
+		for i := 0; i < n; i++ {
+			if mask.Observed(i, j) {
+				sum += x.At(i, j)
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return errors.New("dataset: column has no observed entries to average")
+		}
+		mean := sum / float64(cnt)
+		for i := 0; i < n; i++ {
+			if !mask.Observed(i, j) {
+				x.Set(i, j, mean)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// MissingSpec configures missing-value injection for the imputation task
+// (Section IV-A1: values are removed from selected columns at a given rate).
+type MissingSpec struct {
+	Rate    float64 // fraction of cells hidden per eligible column, in [0,1)
+	Columns []int   // eligible columns; nil means all non-SI columns
+	Seed    int64
+	// KeepCompleteRows reserves the first KeepCompleteRows rows from any
+	// injection, mirroring the paper's extraction of 100 complete tuples so
+	// row-based baselines have material to work with.
+	KeepCompleteRows int
+}
+
+// InjectMissing returns the observation mask Ω after hiding cells of d.X per
+// spec. d itself is not modified: imputers read the hidden cells only through
+// the mask discipline, and the untouched d.X doubles as the ground truth X#.
+func InjectMissing(d *Dataset, spec MissingSpec) (*mat.Mask, error) {
+	n, m := d.Dims()
+	if spec.Rate < 0 || spec.Rate >= 1 {
+		return nil, errors.New("dataset: missing rate must be in [0,1)")
+	}
+	cols := spec.Columns
+	if cols == nil {
+		for j := d.L; j < m; j++ {
+			cols = append(cols, j)
+		}
+	}
+	for _, j := range cols {
+		if j < 0 || j >= m {
+			return nil, errors.New("dataset: missing-injection column out of range")
+		}
+	}
+	mask := mat.FullMask(n, m)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	start := spec.KeepCompleteRows
+	if start > n {
+		start = n
+	}
+	for _, j := range cols {
+		for i := start; i < n; i++ {
+			if rng.Float64() < spec.Rate {
+				mask.Hide(i, j)
+			}
+		}
+	}
+	// Guarantee at least one observed entry per column so that column
+	// statistics remain defined.
+	for _, j := range cols {
+		if mask.ColObservedCount(j) == 0 {
+			mask.Observe(rng.Intn(n), j)
+		}
+	}
+	return mask, nil
+}
+
+// ErrorSpec configures error injection for the repair task (Section IV-A1:
+// original values are randomly replaced with other values from the same
+// column's domain).
+type ErrorSpec struct {
+	Rate float64 // fraction of cells corrupted per column
+	Seed int64
+	// SpareSI leaves the first L spatial columns clean when true.
+	SpareSI bool
+}
+
+// InjectErrors returns a corrupted copy of d.X and the dirty-cell mask Ψ
+// (as a Mask whose observed bits mark DIRTY cells, matching the paper's use
+// of Ψ for "entries to repair"). d is not modified.
+func InjectErrors(d *Dataset, spec ErrorSpec) (*mat.Dense, *mat.Mask, error) {
+	n, m := d.Dims()
+	if spec.Rate < 0 || spec.Rate >= 1 {
+		return nil, nil, errors.New("dataset: error rate must be in [0,1)")
+	}
+	if n < 2 {
+		return nil, nil, errors.New("dataset: need at least 2 rows to swap domain values")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	dirty := mat.NewMask(n, m)
+	corrupted := d.X.Clone()
+	startCol := 0
+	if spec.SpareSI {
+		startCol = d.L
+	}
+	for j := startCol; j < m; j++ {
+		for i := 0; i < n; i++ {
+			if rng.Float64() >= spec.Rate {
+				continue
+			}
+			// Replace with another value drawn from the same column (the
+			// "same domain" corruption of Section IV-A1).
+			src := rng.Intn(n - 1)
+			if src >= i {
+				src++
+			}
+			corrupted.Set(i, j, d.X.At(src, j))
+			dirty.Observe(i, j)
+		}
+	}
+	return corrupted, dirty, nil
+}

@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+func genTest(t *testing.T, n int) *Dataset {
+	t.Helper()
+	res, err := Generate(Spec{
+		Name: "t", N: n, M: 5, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 3, Noise: 0.05, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Data
+}
+
+func TestInjectMissingRate(t *testing.T) {
+	d := genTest(t, 2000)
+	mask, err := InjectMissing(d, MissingSpec{Rate: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := d.Dims()
+	// Only non-SI columns (3 of them) are eligible.
+	hidden := mask.CountHidden()
+	expect := 0.1 * float64(n) * 3
+	if math.Abs(float64(hidden)-expect) > 0.25*expect {
+		t.Fatalf("hidden = %d, expect ≈ %v", hidden, expect)
+	}
+	// SI columns untouched.
+	for i := 0; i < n; i++ {
+		if !mask.Observed(i, 0) || !mask.Observed(i, 1) {
+			t.Fatal("SI column was hidden by default spec")
+		}
+	}
+}
+
+func TestInjectMissingSpecificColumns(t *testing.T) {
+	d := genTest(t, 500)
+	mask, err := InjectMissing(d, MissingSpec{Rate: 0.5, Columns: []int{0, 1}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := d.Dims()
+	for i := 0; i < n; i++ {
+		for j := 2; j < 5; j++ {
+			if !mask.Observed(i, j) {
+				t.Fatal("non-selected column hidden")
+			}
+		}
+	}
+	if mask.ColObservedCount(0) == n {
+		t.Fatal("selected column not hidden at 50% rate")
+	}
+}
+
+func TestInjectMissingKeepsCompleteRows(t *testing.T) {
+	d := genTest(t, 300)
+	mask, err := InjectMissing(d, MissingSpec{Rate: 0.9, Seed: 9, KeepCompleteRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if !mask.RowObserved(i) {
+			t.Fatalf("reserved row %d has hidden cells", i)
+		}
+	}
+}
+
+func TestInjectMissingDeterministic(t *testing.T) {
+	d := genTest(t, 200)
+	a, _ := InjectMissing(d, MissingSpec{Rate: 0.3, Seed: 5})
+	b, _ := InjectMissing(d, MissingSpec{Rate: 0.3, Seed: 5})
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different masks")
+	}
+}
+
+func TestInjectMissingValidation(t *testing.T) {
+	d := genTest(t, 50)
+	if _, err := InjectMissing(d, MissingSpec{Rate: 1.0}); err == nil {
+		t.Fatal("expected rate error")
+	}
+	if _, err := InjectMissing(d, MissingSpec{Rate: 0.1, Columns: []int{99}}); err == nil {
+		t.Fatal("expected column range error")
+	}
+}
+
+func TestInjectErrorsSameDomain(t *testing.T) {
+	d := genTest(t, 400)
+	corrupted, dirty, err := InjectErrors(d, ErrorSpec{Rate: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := d.Dims()
+	// Dirty cells differ flag-wise; every corrupted value must exist
+	// somewhere in the original column (same-domain property).
+	for j := 0; j < m; j++ {
+		domain := map[float64]bool{}
+		for i := 0; i < n; i++ {
+			domain[d.X.At(i, j)] = true
+		}
+		for i := 0; i < n; i++ {
+			if dirty.Observed(i, j) && !domain[corrupted.At(i, j)] {
+				t.Fatalf("corrupted value at (%d,%d) not in column domain", i, j)
+			}
+			if !dirty.Observed(i, j) && corrupted.At(i, j) != d.X.At(i, j) {
+				t.Fatalf("clean cell (%d,%d) was modified", i, j)
+			}
+		}
+	}
+	// Roughly 10% of cells dirty.
+	rate := float64(dirty.Count()) / float64(n*m)
+	if rate < 0.05 || rate > 0.15 {
+		t.Fatalf("dirty rate = %v", rate)
+	}
+	// Original untouched.
+	if !mat.EqualApprox(d.X, genTest(t, 400).X, 0) {
+		t.Fatal("InjectErrors modified the source dataset")
+	}
+}
+
+func TestInjectErrorsSpareSI(t *testing.T) {
+	d := genTest(t, 200)
+	_, dirty, err := InjectErrors(d, ErrorSpec{Rate: 0.3, Seed: 12, SpareSI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := d.Dims()
+	for i := 0; i < n; i++ {
+		if dirty.Observed(i, 0) || dirty.Observed(i, 1) {
+			t.Fatal("SI corrupted despite SpareSI")
+		}
+	}
+}
+
+func TestInjectErrorsValidation(t *testing.T) {
+	d := genTest(t, 50)
+	if _, _, err := InjectErrors(d, ErrorSpec{Rate: 1.5}); err == nil {
+		t.Fatal("expected rate error")
+	}
+}

@@ -1,0 +1,267 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, name := range PaperDatasets {
+		res, err := ByName(name, 0.01, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n, m := res.Data.Dims()
+		if n <= 0 || m <= 2 {
+			t.Fatalf("%s shape %dx%d", name, n, m)
+		}
+		if res.Data.L != 2 {
+			t.Fatalf("%s L = %d", name, res.Data.L)
+		}
+		if len(res.Labels) != n {
+			t.Fatalf("%s labels length %d != %d", name, len(res.Labels), n)
+		}
+		if len(res.Data.Columns) != m {
+			t.Fatalf("%s columns %d != %d", name, len(res.Data.Columns), m)
+		}
+		if !res.Data.X.IsFinite() {
+			t.Fatalf("%s has non-finite values", name)
+		}
+	}
+}
+
+func TestGeneratePaperShapesAtFullScale(t *testing.T) {
+	// Verify the paper's Table III tuple counts at scale 1 without actually
+	// allocating the 100k Vehicle rows (only check the arithmetic).
+	if n := scaleN(27000, 1, 120); n != 27000 {
+		t.Fatalf("Economic N = %d", n)
+	}
+	if n := scaleN(400, 1, 80); n != 400 {
+		t.Fatalf("Farm N = %d", n)
+	}
+	if n := scaleN(100000, 0.001, 150); n != 150 {
+		t.Fatalf("floor not applied: %d", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Lake(0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lake(0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(a.Data.X, b.Data.X, 0) {
+		t.Fatal("same seed produced different data")
+	}
+	c, err := Lake(0.02, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.EqualApprox(a.Data.X, c.Data.X, 0) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSpatialSmoothness(t *testing.T) {
+	// The defining property of the generator: attribute differences between
+	// spatial nearest neighbors must be much smaller than between random
+	// pairs. Without it the whole premise of SMF/SMFL would be untestable.
+	res, err := Economic(0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Data
+	n, m := d.Dims()
+	// For a sample of points, find the spatial NN by brute force and
+	// compare attribute distance to a random pair baseline.
+	var nnDist, randDist float64
+	var count int
+	for i := 0; i < n; i += 7 {
+		bestJ, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dx := d.X.At(i, 0) - d.X.At(j, 0)
+			dy := d.X.At(i, 1) - d.X.At(j, 1)
+			if dd := dx*dx + dy*dy; dd < bestD {
+				bestD, bestJ = dd, j
+			}
+		}
+		rj := (i + n/2) % n
+		for j := 2; j < m; j++ {
+			nnDist += math.Abs(d.X.At(i, j) - d.X.At(bestJ, j))
+			randDist += math.Abs(d.X.At(i, j) - d.X.At(rj, j))
+		}
+		count++
+	}
+	if nnDist >= randDist {
+		t.Fatalf("no spatial smoothness: nn %v vs random %v", nnDist, randDist)
+	}
+}
+
+func TestClusterLabelsBalanced(t *testing.T) {
+	res, err := Lake(0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, l := range res.Labels {
+		counts[l]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("Lake should have 5 clusters, got %d", len(counts))
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if counts[k] == 0 {
+			t.Fatalf("empty cluster %d", k)
+		}
+	}
+}
+
+func TestVehicleSchema(t *testing.T) {
+	res, err := Vehicle(0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Latitude", "Longitude", "Speed", "Torque", "EngineTemp", "Altitude", "FuelRate"}
+	for i, c := range want {
+		if res.Data.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, res.Data.Columns[i], c)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{N: 10, M: 3, L: 3}); err == nil {
+		t.Fatal("expected error: M must exceed L")
+	}
+	if _, err := Generate(Spec{N: 10, M: 5, L: 2}); err == nil {
+		t.Fatal("expected error: zero Latents")
+	}
+	if _, err := ByName("Nope", 1, 1); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res, err := Farm(0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "Farm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(back.X, res.Data.X, 0) {
+		t.Fatal("CSV round trip lost precision")
+	}
+	if back.Columns[0] != res.Data.Columns[0] {
+		t.Fatal("header lost")
+	}
+}
+
+func TestCSVMaskedMissing(t *testing.T) {
+	in := "Lat,Lon,A\n1,2,\n3,4,5\n"
+	ds, mask, err := ReadCSVMasked(bytes.NewBufferString(in), "m", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.Observed(0, 2) {
+		t.Fatal("empty cell should be hidden")
+	}
+	if !mask.Observed(1, 2) || ds.X.At(1, 2) != 5 {
+		t.Fatal("observed cell wrong")
+	}
+	// Strict reader rejects the same input.
+	if _, err := ReadCSV(bytes.NewBufferString(in), "m", 2); err == nil {
+		t.Fatal("ReadCSV should reject missing cells")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, _, err := ReadCSVMasked(bytes.NewBufferString("a,b\n1\n"), "m", 1); err == nil {
+		t.Fatal("expected ragged-row error")
+	}
+	if _, _, err := ReadCSVMasked(bytes.NewBufferString("a\nxyz\n"), "m", 1); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestTrajectoryModeProducesSequentialPaths(t *testing.T) {
+	res, err := Generate(Spec{
+		Name: "traj", N: 400, M: 5, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 4, Noise: 0.02, Seed: 8,
+		Trajectories: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Data.X
+	// Consecutive rows within a path must be much closer than random pairs.
+	var stepSum, randSum float64
+	var steps int
+	perPath := 400 / 8
+	for i := 1; i < 400; i++ {
+		if i%perPath == 0 {
+			continue // path boundary
+		}
+		dx := x.At(i, 0) - x.At(i-1, 0)
+		dy := x.At(i, 1) - x.At(i-1, 1)
+		stepSum += math.Hypot(dx, dy)
+		j := (i + 200) % 400
+		dx = x.At(i, 0) - x.At(j, 0)
+		dy = x.At(i, 1) - x.At(j, 1)
+		randSum += math.Hypot(dx, dy)
+		steps++
+	}
+	if stepSum/float64(steps) >= 0.3*randSum/float64(steps) {
+		t.Fatalf("trajectory steps %.3f not much smaller than random pairs %.3f",
+			stepSum/float64(steps), randSum/float64(steps))
+	}
+	// Labels constant within each path.
+	for p := 0; p < 8; p++ {
+		first := res.Labels[p*perPath]
+		for i := p * perPath; i < (p+1)*perPath && i < 400; i++ {
+			if res.Labels[i] != first {
+				t.Fatalf("label changed mid-path at row %d", i)
+			}
+		}
+	}
+}
+
+func TestVehicleUsesTrajectories(t *testing.T) {
+	res, err := Vehicle(0.004, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Data.X
+	n, _ := x.Dims()
+	// Median consecutive step must be small relative to the extent.
+	var small int
+	for i := 1; i < n; i++ {
+		d := math.Hypot(x.At(i, 0)-x.At(i-1, 0), x.At(i, 1)-x.At(i-1, 1))
+		if d < 10 { // extent is 100
+			small++
+		}
+	}
+	if float64(small)/float64(n-1) < 0.8 {
+		t.Fatalf("only %d/%d consecutive steps are local", small, n-1)
+	}
+}

@@ -1,0 +1,164 @@
+// Package impute implements the imputation baselines the paper compares
+// SMFL against (Section IV-A3), all behind a single Imputer interface:
+// Mean, kNN, kNNE, LOESS, IIM, MC, DLM, SoftImpute, Iterative, GAIN, CAMF,
+// plus ERACER from the related work. Inputs follow the paper's protocol:
+// matrices are min-max
+// normalized to [0,1] and the observation mask Ω marks which cells a method
+// may read; error is measured on the complement Ψ.
+package impute
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Imputer fills the hidden entries of x. Implementations must not modify x
+// and must leave observed entries untouched in the returned matrix.
+type Imputer interface {
+	// Name returns the method name as used in the paper's tables.
+	Name() string
+	// Impute returns a completed copy of x. l is the number of leading
+	// spatial-information columns (methods that ignore SI may disregard it).
+	Impute(x *mat.Dense, omega *mat.Mask, l int) (*mat.Dense, error)
+}
+
+// ResourceLimitError mirrors the paper's OOT/OOM reporting: a method refuses
+// an input that would exceed its time or memory budget at laptop scale.
+type ResourceLimitError struct {
+	Method string
+	Kind   string // "OOT" or "OOM"
+	N      int
+	Limit  int
+}
+
+func (e *ResourceLimitError) Error() string {
+	return fmt.Sprintf("impute: %s %s: %d tuples exceeds budget %d", e.Method, e.Kind, e.N, e.Limit)
+}
+
+// errNoData is returned when a column has no observed entries at all.
+var errNoData = errors.New("impute: column has no observed entries")
+
+// columnMeans returns the mean of each column over observed entries.
+func columnMeans(x *mat.Dense, omega *mat.Mask) ([]float64, error) {
+	n, m := x.Dims()
+	means := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var sum float64
+		var cnt int
+		for i := 0; i < n; i++ {
+			if omega.Observed(i, j) {
+				sum += x.At(i, j)
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return nil, errNoData
+		}
+		means[j] = sum / float64(cnt)
+	}
+	return means, nil
+}
+
+// meanFilled returns a copy of x with hidden cells replaced by column means.
+func meanFilled(x *mat.Dense, omega *mat.Mask) (*mat.Dense, error) {
+	means, err := columnMeans(x, omega)
+	if err != nil {
+		return nil, err
+	}
+	out := x.Clone()
+	n, m := x.Dims()
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if !omega.Observed(i, j) {
+				out.Set(i, j, means[j])
+			}
+		}
+	}
+	return out, nil
+}
+
+// rowDist is the normalized Euclidean distance between rows i and r over the
+// columns observed in BOTH rows. Returns +Inf when they share no column.
+func rowDist(x *mat.Dense, omega *mat.Mask, i, r int) float64 {
+	_, m := x.Dims()
+	var s float64
+	var cnt int
+	for j := 0; j < m; j++ {
+		if omega.Observed(i, j) && omega.Observed(r, j) {
+			d := x.At(i, j) - x.At(r, j)
+			s += d * d
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(s / float64(cnt))
+}
+
+// neighborsFor returns up to k row indices nearest to row i (by rowDist)
+// among rows where column wantCol is observed (wantCol = -1 disables the
+// filter). Rows at infinite distance are skipped.
+func neighborsFor(x *mat.Dense, omega *mat.Mask, i, k, wantCol int) []int {
+	n, _ := x.Dims()
+	type cand struct {
+		d   float64
+		idx int
+	}
+	cands := make([]cand, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == i {
+			continue
+		}
+		if wantCol >= 0 && !omega.Observed(r, wantCol) {
+			continue
+		}
+		d := rowDist(x, omega, i, r)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		cands = append(cands, cand{d, r})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for t := 0; t < k; t++ {
+		out[t] = cands[t].idx
+	}
+	return out
+}
+
+// missingCells lists the hidden cells of row i.
+func missingCells(omega *mat.Mask, i, m int) []int {
+	var out []int
+	for j := 0; j < m; j++ {
+		if !omega.Observed(i, j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// checkInput validates the common Impute preconditions.
+func checkInput(x *mat.Dense, omega *mat.Mask) error {
+	n, m := x.Dims()
+	if n == 0 || m == 0 {
+		return errors.New("impute: empty matrix")
+	}
+	or, oc := omega.Dims()
+	if or != n || oc != m {
+		return fmt.Errorf("impute: mask %dx%d vs data %dx%d", or, oc, n, m)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package impute
+
+import (
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// MF adapts the core NMF/SMF/SMFL family to the Imputer interface so that
+// the experiment harness can iterate over all methods uniformly.
+type MF struct {
+	Method core.Method
+	Cfg    core.Config
+}
+
+// Name implements Imputer.
+func (m *MF) Name() string { return m.Method.String() }
+
+// Impute implements Imputer.
+func (m *MF) Impute(x *mat.Dense, omega *mat.Mask, l int) (*mat.Dense, error) {
+	out, _, err := core.Impute(x, omega, l, m.Method, m.Cfg)
+	return out, err
+}
+
+// PaperBaselines returns the twelve imputation methods of Table IV in paper
+// column order, configured with their defaults and the given seed. The core
+// family shares cfg.
+func PaperBaselines(seed int64, cfg core.Config) []Imputer {
+	cfg.Seed = seed
+	return []Imputer{
+		&KNNE{},
+		&LOESS{},
+		&IIM{},
+		&MC{},
+		&DLM{},
+		&GAIN{Seed: seed},
+		&SoftImpute{},
+		&Iterative{},
+		&CAMF{Seed: seed},
+		&MF{Method: core.NMF, Cfg: cfg},
+		&MF{Method: core.SMF, Cfg: cfg},
+		&MF{Method: core.SMFL, Cfg: cfg},
+	}
+}
+
+// ByName returns a default-configured imputer by its paper name, or nil.
+func ByName(name string, seed int64, cfg core.Config) Imputer {
+	cfg.Seed = seed
+	switch name {
+	case "Mean":
+		return Mean{}
+	case "kNN":
+		return &KNN{}
+	case "kNNE":
+		return &KNNE{}
+	case "LOESS":
+		return &LOESS{}
+	case "IIM":
+		return &IIM{}
+	case "MC":
+		return &MC{}
+	case "DLM":
+		return &DLM{}
+	case "GAIN":
+		return &GAIN{Seed: seed}
+	case "SoftImpute":
+		return &SoftImpute{}
+	case "Iterative":
+		return &Iterative{}
+	case "ERACER":
+		return &ERACER{}
+	case "CAMF":
+		return &CAMF{Seed: seed}
+	case "NMF":
+		return &MF{Method: core.NMF, Cfg: cfg}
+	case "SMF":
+		return &MF{Method: core.SMF, Cfg: cfg}
+	case "SMFL":
+		return &MF{Method: core.SMFL, Cfg: cfg}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package impute
+
+import (
+	"math"
+
+	"github.com/spatialmf/smfl/internal/linalg"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// MC is nuclear-norm matrix completion [10], solved by singular-value
+// thresholding (SVT) — the standard first-order method for the convex
+// program of Candès & Recht.
+type MC struct {
+	Tau     float64 // shrinkage threshold; <=0 means 5·sqrt(N·M)·meanScale
+	Delta   float64 // step size; <=0 means 1.2·N·M/|Ω|
+	MaxIter int     // default 100
+	Tol     float64 // relative residual stop; default 1e-4
+	// Rank > 0 switches to randomized truncated SVDs of that rank per
+	// iteration — much faster on tall matrices at a small accuracy cost.
+	Rank int
+	Seed int64
+}
+
+// Name implements Imputer.
+func (m *MC) Name() string { return "MC" }
+
+// Impute implements Imputer.
+func (m *MC) Impute(x *mat.Dense, omega *mat.Mask, _ int) (*mat.Dense, error) {
+	if err := checkInput(x, omega); err != nil {
+		return nil, err
+	}
+	n, mm := x.Dims()
+	maxIter := m.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	rx := omega.Project(nil, x)
+	normRX := mat.FrobNorm(rx)
+	if normRX == 0 {
+		return x.Clone(), nil
+	}
+	tau := m.Tau
+	if tau <= 0 {
+		tau = 5 * math.Sqrt(float64(n*mm)) * mat.Sum(rx) / float64(max(1, omega.Count()))
+	}
+	delta := m.Delta
+	if delta <= 0 {
+		delta = 1.2 * float64(n*mm) / float64(max(1, omega.Count()))
+	}
+	y := mat.NewDense(n, mm)
+	var z *mat.Dense
+	for it := 0; it < maxIter; it++ {
+		svd, err := decompose(y, m.Rank, m.Seed+int64(it))
+		if err != nil {
+			return nil, err
+		}
+		z = svd.SoftThresholdReconstruct(tau)
+		// Residual on observed entries.
+		res := omega.Project(nil, mat.Sub(nil, x, z))
+		if mat.FrobNorm(res)/normRX < tol {
+			break
+		}
+		mat.AddScaled(y, y, delta, res)
+	}
+	return omega.Recover(x, z), nil
+}
+
+// SoftImpute is iterative soft-thresholded SVD [35]: repeatedly replace the
+// hidden entries with the current low-rank estimate and shrink.
+type SoftImpute struct {
+	Lambda  float64 // shrinkage; <=0 means 0.1·σ₁(R_Ω(X))
+	MaxIter int     // default 50
+	Tol     float64 // relative change stop; default 1e-4
+	// Rank > 0 switches to randomized truncated SVDs of that rank per
+	// iteration (the large-scale mode of the original SoftImpute paper).
+	Rank int
+	Seed int64
+}
+
+// Name implements Imputer.
+func (s *SoftImpute) Name() string { return "SoftImpute" }
+
+// Impute implements Imputer.
+func (s *SoftImpute) Impute(x *mat.Dense, omega *mat.Mask, _ int) (*mat.Dense, error) {
+	if err := checkInput(x, omega); err != nil {
+		return nil, err
+	}
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	rx := omega.Project(nil, x)
+	svd0, err := decompose(rx, s.Rank, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	lambda := s.Lambda
+	if lambda <= 0 {
+		if len(svd0.S) > 0 {
+			lambda = 0.1 * svd0.S[0]
+		} else {
+			lambda = 0.1
+		}
+	}
+	n, mm := x.Dims()
+	z := mat.NewDense(n, mm)
+	filled := mat.NewDense(n, mm)
+	for it := 0; it < maxIter; it++ {
+		// filled = R_Ω(X) + R_Ψ(Z)
+		copyRecover(filled, x, z, omega)
+		svd, err := decompose(filled, s.Rank, s.Seed+int64(it))
+		if err != nil {
+			return nil, err
+		}
+		zNew := svd.SoftThresholdReconstruct(lambda)
+		diff := mat.FrobNorm(mat.Sub(nil, zNew, z))
+		denom := math.Max(mat.FrobNorm(z), 1e-12)
+		z = zNew
+		if diff/denom < tol {
+			break
+		}
+	}
+	return omega.Recover(x, z), nil
+}
+
+// decompose picks the exact Jacobi SVD or, when rank > 0, the randomized
+// truncated SVD.
+func decompose(a *mat.Dense, rank int, seed int64) (*linalg.SVD, error) {
+	if rank > 0 {
+		return linalg.TruncatedSVD(a, rank, 8, 2, seed)
+	}
+	return linalg.ComputeSVD(a)
+}
+
+// copyRecover stores R_Ω(x) + R_Ψ(z) into dst without allocating.
+func copyRecover(dst, x, z *mat.Dense, omega *mat.Mask) {
+	n, m := x.Dims()
+	for i := 0; i < n; i++ {
+		di, xi, zi := dst.Row(i), x.Row(i), z.Row(i)
+		for j := 0; j < m; j++ {
+			if omega.Observed(i, j) {
+				di[j] = xi[j]
+			} else {
+				di[j] = zi[j]
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

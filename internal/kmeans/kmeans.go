@@ -1,0 +1,176 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding. In the
+// SMFL pipeline it clusters the spatial information SI and its cluster
+// centers become the landmark matrix C (Section III-A of the paper); it also
+// serves as the final step of the PCA/MF clustering baselines (Fig. 4b).
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Config controls a k-means run.
+type Config struct {
+	K        int   // number of clusters (required, 1 <= K <= N)
+	MaxIter  int   // Lloyd iteration cap; paper default t₂ = 300
+	Seed     int64 // RNG seed for k-means++ and empty-cluster reseeding
+	Restarts int   // independent restarts, best cost kept; default 1
+}
+
+// DefaultMaxIter matches the paper's t₂ = 300 default.
+const DefaultMaxIter = 300
+
+// Result holds the outcome of a k-means run.
+type Result struct {
+	Centers *mat.Dense // K×L cluster centers — the landmark matrix C
+	Labels  []int      // length-N assignment
+	Cost    float64    // sum of squared distances to assigned centers
+	Iters   int        // Lloyd iterations executed (last restart)
+}
+
+// Run clusters the rows of x.
+func Run(x *mat.Dense, cfg Config) (*Result, error) {
+	n, dim := x.Dims()
+	if cfg.K <= 0 {
+		return nil, errors.New("kmeans: K must be positive")
+	}
+	if cfg.K > n {
+		return nil, errors.New("kmeans: K exceeds the number of points")
+	}
+	if !x.IsFinite() {
+		return nil, errors.New("kmeans: input contains NaN or Inf")
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = DefaultMaxIter
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res := runOnce(x, n, dim, cfg.K, cfg.MaxIter, rng)
+		if best == nil || res.Cost < best.Cost {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func runOnce(x *mat.Dense, n, dim, k, maxIter int, rng *rand.Rand) *Result {
+	centers := seedPlusPlus(x, n, dim, k, rng)
+	labels := make([]int, n)
+	counts := make([]int, k)
+	var cost float64
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		cost = 0
+		for i := 0; i < n; i++ {
+			xi := x.Row(i)
+			bestJ, bestD := 0, math.Inf(1)
+			for j := 0; j < k; j++ {
+				d := sqDist(xi, centers.Row(j))
+				if d < bestD {
+					bestD, bestJ = d, j
+				}
+			}
+			if labels[i] != bestJ {
+				labels[i] = bestJ
+				changed = true
+			}
+			cost += bestD
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centers.
+		centers.Zero()
+		for j := range counts {
+			counts[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := centers.Row(labels[i])
+			xi := x.Row(i)
+			for d := range xi {
+				c[d] += xi[d]
+			}
+			counts[labels[i]]++
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				// Reseed an empty cluster at a random point.
+				copy(centers.Row(j), x.Row(rng.Intn(n)))
+				continue
+			}
+			inv := 1 / float64(counts[j])
+			c := centers.Row(j)
+			for d := range c {
+				c[d] *= inv
+			}
+		}
+	}
+	return &Result{Centers: centers, Labels: labels, Cost: cost, Iters: iters}
+}
+
+// seedPlusPlus picks initial centers with the k-means++ D² distribution.
+func seedPlusPlus(x *mat.Dense, n, dim, k int, rng *rand.Rand) *mat.Dense {
+	centers := mat.NewDense(k, dim)
+	copy(centers.Row(0), x.Row(rng.Intn(n)))
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = sqDist(x.Row(i), centers.Row(0))
+	}
+	for j := 1; j < k; j++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points coincide with chosen centers
+		} else {
+			r := rng.Float64() * total
+			var acc float64
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centers.Row(j), x.Row(pick))
+		for i := 0; i < n; i++ {
+			if d := sqDist(x.Row(i), centers.Row(j)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cost computes the k-means objective of an arbitrary (centers, labels) pair;
+// exported for tests and diagnostics.
+func Cost(x, centers *mat.Dense, labels []int) float64 {
+	n, _ := x.Dims()
+	var s float64
+	for i := 0; i < n; i++ {
+		s += sqDist(x.Row(i), centers.Row(labels[i]))
+	}
+	return s
+}

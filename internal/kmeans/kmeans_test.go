@@ -1,0 +1,172 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// threeBlobs returns n points per blob around three well-separated centers.
+func threeBlobs(rng *rand.Rand, n int) (*mat.Dense, []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	x := mat.NewDense(3*n, 2)
+	truth := make([]int, 3*n)
+	for c, ctr := range centers {
+		for i := 0; i < n; i++ {
+			row := c*n + i
+			x.Set(row, 0, ctr[0]+0.3*rng.NormFloat64())
+			x.Set(row, 1, ctr[1]+0.3*rng.NormFloat64())
+			truth[row] = c
+		}
+	}
+	return x, truth
+}
+
+func TestRecoversWellSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	x, truth := threeBlobs(rng, 30)
+	res, err := Run(x, Config{K: 3, Seed: 1, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair in the same true blob must share a predicted label.
+	for c := 0; c < 3; c++ {
+		first := res.Labels[c*30]
+		for i := 0; i < 30; i++ {
+			if res.Labels[c*30+i] != first {
+				t.Fatalf("blob %d split: labels %v vs %v", c, first, res.Labels[c*30+i])
+			}
+		}
+	}
+	_ = truth
+	// Centers close to the true ones.
+	for _, want := range [][]float64{{0, 0}, {10, 0}, {0, 10}} {
+		found := false
+		for j := 0; j < 3; j++ {
+			d := math.Hypot(res.Centers.At(j, 0)-want[0], res.Centers.At(j, 1)-want[1])
+			if d < 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no center near %v; centers = %v", want, res.Centers)
+		}
+	}
+}
+
+func TestCostMatchesHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	x := mat.RandomNormal(rng, 40, 3, 0, 1)
+	res, err := Run(x, Config{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-Cost(x, res.Centers, res.Labels)) > 1e-9 {
+		t.Fatalf("reported cost %v != recomputed %v", res.Cost, Cost(x, res.Centers, res.Labels))
+	}
+}
+
+func TestKEqualsNIsZeroCost(t *testing.T) {
+	x := mat.FromRows([][]float64{{0, 0}, {5, 5}, {9, 1}})
+	res, err := Run(x, Config{K: 3, Seed: 3, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-12 {
+		t.Fatalf("K=N cost = %v, want 0", res.Cost)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	x := mat.RandomNormal(rng, 50, 2, 0, 1)
+	a, err := Run(x, Config{K: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(x, Config{K: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(a.Centers, b.Centers, 0) {
+		t.Fatal("same seed produced different centers")
+	}
+	if a.Cost != b.Cost {
+		t.Fatal("same seed produced different cost")
+	}
+}
+
+func TestRestartsNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	x := mat.RandomNormal(rng, 60, 2, 0, 2)
+	one, err := Run(x, Config{K: 6, Seed: 4, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(x, Config{K: 6, Seed: 4, Restarts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Cost > one.Cost+1e-12 {
+		t.Fatalf("restarts made cost worse: %v vs %v", many.Cost, one.Cost)
+	}
+}
+
+func TestDuplicatePointsNoPanic(t *testing.T) {
+	x := mat.NewDense(10, 2) // all identical points
+	res, err := Run(x, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-12 {
+		t.Fatalf("identical points cost = %v", res.Cost)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	x := mat.NewDense(5, 2)
+	if _, err := Run(x, Config{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	if _, err := Run(x, Config{K: 6}); err == nil {
+		t.Fatal("expected error for K>N")
+	}
+	bad := mat.NewDense(3, 2)
+	bad.Set(1, 1, math.Inf(1))
+	if _, err := Run(bad, Config{K: 2}); err == nil {
+		t.Fatal("expected error for Inf input")
+	}
+}
+
+func TestLandmarkShape(t *testing.T) {
+	// The centers matrix must be K×L — it is injected into V[:, :L].
+	rng := rand.New(rand.NewSource(74))
+	si := mat.RandomNormal(rng, 100, 2, 0, 1)
+	res, err := Run(si, Config{K: 7, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := res.Centers.Dims(); r != 7 || c != 2 {
+		t.Fatalf("centers shape %dx%d, want 7x2", r, c)
+	}
+}
+
+func TestLloydCostNonIncreasingProperty(t *testing.T) {
+	// Run with increasing iteration caps: cost must be non-increasing in
+	// the cap (same seed ⇒ same trajectory prefix).
+	rng := rand.New(rand.NewSource(75))
+	x := mat.RandomNormal(rng, 80, 2, 0, 3)
+	prev := math.Inf(1)
+	for _, iters := range []int{1, 2, 4, 8, 16, 32} {
+		res, err := Run(x, Config{K: 5, Seed: 11, MaxIter: iters})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost > prev+1e-9 {
+			t.Fatalf("cost increased with more iterations: %v after %d iters (prev %v)", res.Cost, iters, prev)
+		}
+		prev = res.Cost
+	}
+}

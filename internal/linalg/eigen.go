@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Eigen holds the eigendecomposition A = Q Λ Qᵀ of a symmetric matrix.
+// Values are sorted descending; Vectors' column k corresponds to Values[k].
+type Eigen struct {
+	Values  []float64
+	Vectors *mat.Dense
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// classical cyclic Jacobi method.
+func SymEigen(a *mat.Dense) (*Eigen, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, errors.New("linalg: SymEigen needs a square matrix")
+	}
+	if !a.IsFinite() {
+		return nil, ErrNotFinite
+	}
+	w := a.Clone()
+	v := mat.Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				off += w.At(p, q) * w.At(p, q)
+			}
+		}
+		if off < 1e-22*(1+mat.FrobNorm2(a)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := sign(theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cth := 1 / math.Sqrt(t*t+1)
+				sth := t * cth
+				for i := 0; i < n; i++ {
+					wip, wiq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, cth*wip-sth*wiq)
+					w.Set(i, q, sth*wip+cth*wiq)
+				}
+				for i := 0; i < n; i++ {
+					wpi, wqi := w.At(p, i), w.At(q, i)
+					w.Set(p, i, cth*wpi-sth*wqi)
+					w.Set(q, i, sth*wpi+cth*wqi)
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, cth*vip-sth*viq)
+					v.Set(i, q, sth*vip+cth*viq)
+				}
+			}
+		}
+	}
+	type ev struct {
+		val float64
+		idx int
+	}
+	evs := make([]ev, n)
+	for i := 0; i < n; i++ {
+		evs[i] = ev{w.At(i, i), i}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].val > evs[j].val })
+	out := &Eigen{Values: make([]float64, n), Vectors: mat.NewDense(n, n)}
+	for k, e := range evs {
+		out.Values[k] = e.val
+		for i := 0; i < n; i++ {
+			out.Vectors.Set(i, k, v.At(i, e.idx))
+		}
+	}
+	return out, nil
+}
+
+// PCA projects the rows of x onto its top-k principal components.
+// Returns the n×k score matrix. Columns of x are centered first.
+func PCA(x *mat.Dense, k int) (*mat.Dense, error) {
+	n, m := x.Dims()
+	if k <= 0 || k > m {
+		return nil, errors.New("linalg: PCA component count out of range")
+	}
+	centered := x.Clone()
+	for j := 0; j < m; j++ {
+		var mean float64
+		for i := 0; i < n; i++ {
+			mean += centered.At(i, j)
+		}
+		mean /= float64(n)
+		for i := 0; i < n; i++ {
+			centered.Set(i, j, centered.At(i, j)-mean)
+		}
+	}
+	svd, err := ComputeSVD(centered)
+	if err != nil {
+		return nil, err
+	}
+	scores := mat.NewDense(n, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			scores.Set(i, j, svd.U.At(i, j)*svd.S[j])
+		}
+	}
+	return scores, nil
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+func TestTruncatedSVDExactOnLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	u := mat.RandomNormal(rng, 80, 3, 0, 1)
+	v := mat.RandomNormal(rng, 3, 10, 0, 1)
+	a := mat.Mul(nil, u, v)
+	svd, err := TruncatedSVD(a, 3, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := svd.Reconstruct(0)
+	if e := mat.FrobNorm(mat.Sub(nil, rec, a)) / mat.FrobNorm(a); e > 1e-8 {
+		t.Fatalf("rank-3 relative error %v", e)
+	}
+	if len(svd.S) != 3 {
+		t.Fatalf("kept %d singular values, want 3", len(svd.S))
+	}
+}
+
+func TestTruncatedSVDMatchesJacobiLeadingValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	a := mat.RandomNormal(rng, 60, 8, 0, 1)
+	exact, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := TruncatedSVD(a, 4, 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(approx.S[i]-exact.S[i]) > 1e-3*exact.S[0] {
+			t.Fatalf("σ_%d: approx %v vs exact %v", i, approx.S[i], exact.S[i])
+		}
+	}
+}
+
+func TestTruncatedSVDOrthonormalU(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	a := mat.RandomNormal(rng, 50, 7, 0, 1)
+	svd, err := TruncatedSVD(a, 5, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(mat.MulAT(nil, svd.U, svd.U), mat.Identity(5), 1e-8) {
+		t.Fatal("UᵀU != I")
+	}
+	if !mat.EqualApprox(mat.MulAT(nil, svd.V, svd.V), mat.Identity(5), 1e-8) {
+		t.Fatal("VᵀV != I")
+	}
+}
+
+func TestTruncatedSVDWideMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	a := mat.RandomNormal(rng, 6, 40, 0, 1)
+	svd, err := TruncatedSVD(a, 3, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur, _ := svd.U.Dims(); ur != 6 {
+		t.Fatalf("U rows = %d", ur)
+	}
+	if vr, _ := svd.V.Dims(); vr != 40 {
+		t.Fatalf("V rows = %d", vr)
+	}
+	// Rank-3 truncation of a random matrix: error bounded by tail energy.
+	exact, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail float64
+	for _, s := range exact.S[3:] {
+		tail += s * s
+	}
+	rec := svd.Reconstruct(0)
+	errF := mat.FrobNorm2(mat.Sub(nil, rec, a))
+	if errF > 1.3*tail+1e-9 {
+		t.Fatalf("truncation error %v exceeds 1.3x optimal tail %v", errF, tail)
+	}
+}
+
+func TestTruncatedSVDRankClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	a := mat.RandomNormal(rng, 10, 4, 0, 1)
+	svd, err := TruncatedSVD(a, 99, 8, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svd.S) != 4 {
+		t.Fatalf("rank should clamp to 4, got %d", len(svd.S))
+	}
+}
+
+func TestTruncatedSVDValidation(t *testing.T) {
+	a := mat.NewDense(5, 3)
+	if _, err := TruncatedSVD(a, 0, 2, 1, 1); err == nil {
+		t.Fatal("expected rank error")
+	}
+	bad := mat.NewDense(3, 3)
+	bad.Set(0, 0, math.NaN())
+	if _, err := TruncatedSVD(bad, 2, 2, 1, 1); err != ErrNotFinite {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package mat
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mask records which entries of an N×M matrix are observed (the set Ω in the
+// paper). Its complement is the unobserved/dirty set Ψ. The mask is a bitset:
+// bit (i*M+j) set means (i,j) ∈ Ω.
+type Mask struct {
+	rows, cols int
+	words      []uint64
+}
+
+// NewMask returns an all-unobserved mask of the given shape.
+func NewMask(rows, cols int) *Mask {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative mask dimension %dx%d", rows, cols))
+	}
+	n := rows * cols
+	return &Mask{rows: rows, cols: cols, words: make([]uint64, (n+63)/64)}
+}
+
+// FullMask returns an all-observed mask of the given shape.
+func FullMask(rows, cols int) *Mask {
+	m := NewMask(rows, cols)
+	n := rows * cols
+	for i := range m.words {
+		m.words[i] = ^uint64(0)
+	}
+	if rem := n % 64; rem != 0 && len(m.words) > 0 {
+		m.words[len(m.words)-1] = (uint64(1) << rem) - 1
+	}
+	return m
+}
+
+// Dims returns the mask shape.
+func (m *Mask) Dims() (r, c int) { return m.rows, m.cols }
+
+func (m *Mask) idx(i, j int) int {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: mask index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+	return i*m.cols + j
+}
+
+// Observed reports whether (i,j) ∈ Ω.
+func (m *Mask) Observed(i, j int) bool {
+	k := m.idx(i, j)
+	return m.words[k>>6]&(1<<(uint(k)&63)) != 0
+}
+
+// Observe marks (i,j) as observed.
+func (m *Mask) Observe(i, j int) {
+	k := m.idx(i, j)
+	m.words[k>>6] |= 1 << (uint(k) & 63)
+}
+
+// Hide marks (i,j) as unobserved.
+func (m *Mask) Hide(i, j int) {
+	k := m.idx(i, j)
+	m.words[k>>6] &^= 1 << (uint(k) & 63)
+}
+
+// Count returns |Ω|, the number of observed entries.
+func (m *Mask) Count() int {
+	var n int
+	for _, w := range m.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountHidden returns |Ψ| = rows*cols − |Ω|.
+func (m *Mask) CountHidden() int { return m.rows*m.cols - m.Count() }
+
+// Complement returns a new mask with every entry flipped (Ψ as a mask).
+func (m *Mask) Complement() *Mask {
+	out := NewMask(m.rows, m.cols)
+	for i, w := range m.words {
+		out.words[i] = ^w
+	}
+	if rem := (m.rows * m.cols) % 64; rem != 0 && len(out.words) > 0 {
+		out.words[len(out.words)-1] &= (uint64(1) << rem) - 1
+	}
+	return out
+}
+
+// Clone returns a deep copy of the mask.
+func (m *Mask) Clone() *Mask {
+	out := NewMask(m.rows, m.cols)
+	copy(out.words, m.words)
+	return out
+}
+
+// RowObserved reports whether every entry of row i is observed.
+func (m *Mask) RowObserved(i int) bool {
+	for j := 0; j < m.cols; j++ {
+		if !m.Observed(i, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// ColObservedCount returns the number of observed entries in column j.
+func (m *Mask) ColObservedCount(j int) int {
+	var n int
+	for i := 0; i < m.rows; i++ {
+		if m.Observed(i, j) {
+			n++
+		}
+	}
+	return n
+}
+
+// Project stores R_Ω(x) into dst (allocated if nil): observed entries are
+// copied, unobserved zeroed. Returns dst. dst may alias x.
+func (m *Mask) Project(dst, x *Dense) *Dense {
+	if x.rows != m.rows || x.cols != m.cols {
+		panic(fmt.Sprintf("mat: Project shape %dx%d vs mask %dx%d", x.rows, x.cols, m.rows, m.cols))
+	}
+	if dst == nil {
+		dst = NewDense(m.rows, m.cols)
+	}
+	if dst.rows != m.rows || dst.cols != m.cols {
+		panic(dimErr("Project dst", dst, x))
+	}
+	n := m.rows * m.cols
+	for k := 0; k < n; k++ {
+		if m.words[k>>6]&(1<<(uint(k)&63)) != 0 {
+			dst.data[k] = x.data[k]
+		} else {
+			dst.data[k] = 0
+		}
+	}
+	return dst
+}
+
+// Recover implements Formula 8 of the paper:
+// X̂ = R_Ω(x) + R_Ψ(pred) — observed entries keep x, the rest come from pred.
+func (m *Mask) Recover(x, pred *Dense) *Dense {
+	if x.rows != m.rows || x.cols != m.cols || pred.rows != m.rows || pred.cols != m.cols {
+		panic("mat: Recover shape mismatch")
+	}
+	out := NewDense(m.rows, m.cols)
+	n := m.rows * m.cols
+	for k := 0; k < n; k++ {
+		if m.words[k>>6]&(1<<(uint(k)&63)) != 0 {
+			out.data[k] = x.data[k]
+		} else {
+			out.data[k] = pred.data[k]
+		}
+	}
+	return out
+}
+
+// MaskedFrob2 returns ‖R_Ω(a−b)‖²_F without allocating the difference.
+func (m *Mask) MaskedFrob2(a, b *Dense) float64 {
+	if a.rows != m.rows || a.cols != m.cols || b.rows != m.rows || b.cols != m.cols {
+		panic("mat: MaskedFrob2 shape mismatch")
+	}
+	var s float64
+	n := m.rows * m.cols
+	for k := 0; k < n; k++ {
+		if m.words[k>>6]&(1<<(uint(k)&63)) != 0 {
+			d := a.data[k] - b.data[k]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// MaskedWeightedFrob2 returns Σ_{(i,j)∈Ω} w_ij (a_ij − b_ij)², the weighted
+// reconstruction error of the confidence-weighted factorization extension.
+func (m *Mask) MaskedWeightedFrob2(a, b, w *Dense) float64 {
+	if a.rows != m.rows || a.cols != m.cols || b.rows != m.rows || b.cols != m.cols || w.rows != m.rows || w.cols != m.cols {
+		panic("mat: MaskedWeightedFrob2 shape mismatch")
+	}
+	var s float64
+	n := m.rows * m.cols
+	for k := 0; k < n; k++ {
+		if m.words[k>>6]&(1<<(uint(k)&63)) != 0 {
+			d := a.data[k] - b.data[k]
+			s += w.data[k] * d * d
+		}
+	}
+	return s
+}
+
+// Equal reports whether two masks have identical shape and bits.
+func (m *Mask) Equal(o *Mask) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, w := range m.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}

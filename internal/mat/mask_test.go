@@ -1,0 +1,152 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMask(rng *rand.Rand, r, c int, pObserved float64) *Mask {
+	m := NewMask(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < pObserved {
+				m.Observe(i, j)
+			}
+		}
+	}
+	return m
+}
+
+func TestMaskObserveHide(t *testing.T) {
+	m := NewMask(3, 3)
+	if m.Observed(1, 1) {
+		t.Fatal("fresh mask should be all-hidden")
+	}
+	m.Observe(1, 1)
+	if !m.Observed(1, 1) {
+		t.Fatal("Observe did not stick")
+	}
+	m.Hide(1, 1)
+	if m.Observed(1, 1) {
+		t.Fatal("Hide did not stick")
+	}
+}
+
+func TestFullMaskCount(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {8, 8}, {13, 7}, {10, 10}} {
+		m := FullMask(dims[0], dims[1])
+		if m.Count() != dims[0]*dims[1] {
+			t.Fatalf("FullMask(%v).Count = %d", dims, m.Count())
+		}
+		if m.CountHidden() != 0 {
+			t.Fatalf("FullMask hidden = %d", m.CountHidden())
+		}
+	}
+}
+
+func TestComplementLawProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(12), 1+r.Intn(12)
+		m := randomMask(r, rows, cols, 0.5)
+		comp := m.Complement()
+		if m.Count()+comp.Count() != rows*cols {
+			return false
+		}
+		// Double complement is identity.
+		return comp.Complement().Equal(m)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectZeroesHidden(t *testing.T) {
+	x := FromRows([][]float64{{1, 2}, {3, 4}})
+	m := NewMask(2, 2)
+	m.Observe(0, 0)
+	m.Observe(1, 1)
+	got := m.Project(nil, x)
+	want := FromRows([][]float64{{1, 0}, {0, 4}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("Project = %v", got)
+	}
+}
+
+func TestProjectDecompositionProperty(t *testing.T) {
+	// R_Ω(X) + R_Ψ(X) == X for any mask.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		x := RandomNormal(rng, r, c, 0, 2)
+		m := randomMask(rng, r, c, rng.Float64())
+		sum := Add(nil, m.Project(nil, x), m.Complement().Project(nil, x))
+		if !EqualApprox(sum, x, 0) {
+			t.Fatal("R_Ω(X)+R_Ψ(X) != X")
+		}
+	}
+}
+
+func TestRecoverFormula8(t *testing.T) {
+	x := FromRows([][]float64{{1, 2}, {3, 4}})
+	pred := FromRows([][]float64{{10, 20}, {30, 40}})
+	m := NewMask(2, 2)
+	m.Observe(0, 0)
+	m.Observe(1, 0)
+	got := m.Recover(x, pred)
+	want := FromRows([][]float64{{1, 20}, {3, 40}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("Recover = %v", got)
+	}
+}
+
+func TestMaskedFrob2MatchesProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		r, c := 1+rng.Intn(9), 1+rng.Intn(9)
+		a := RandomNormal(rng, r, c, 0, 1)
+		b := RandomNormal(rng, r, c, 0, 1)
+		m := randomMask(rng, r, c, 0.6)
+		want := FrobNorm2(m.Project(nil, Sub(nil, a, b)))
+		got := m.MaskedFrob2(a, b)
+		if diff := want - got; diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("MaskedFrob2 = %v want %v", got, want)
+		}
+	}
+}
+
+func TestRowObservedColCount(t *testing.T) {
+	m := NewMask(2, 3)
+	for j := 0; j < 3; j++ {
+		m.Observe(0, j)
+	}
+	m.Observe(1, 1)
+	if !m.RowObserved(0) || m.RowObserved(1) {
+		t.Fatal("RowObserved wrong")
+	}
+	if m.ColObservedCount(1) != 2 || m.ColObservedCount(2) != 1 {
+		t.Fatal("ColObservedCount wrong")
+	}
+}
+
+func TestMaskClone(t *testing.T) {
+	m := NewMask(2, 2)
+	m.Observe(0, 0)
+	c := m.Clone()
+	c.Observe(1, 1)
+	if m.Observed(1, 1) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Observed(0, 0) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestMaskIndexPanics(t *testing.T) {
+	m := NewMask(2, 2)
+	defer expectPanic(t, "mask index")
+	m.Observe(2, 0)
+}

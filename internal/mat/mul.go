@@ -1,0 +1,196 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of scalar multiply-adds in a matmul
+// before the work is split across goroutines. Below it the goroutine overhead
+// dominates on small operands.
+const parallelThreshold = 1 << 20
+
+// Mul stores a*b into dst (allocated if nil) and returns dst.
+// dst must not alias a or b.
+func Mul(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(dimErr("Mul", a, b))
+	}
+	dst = mulDst(dst, a.rows, b.cols)
+	mulRange := func(lo, hi int) {
+		// ikj loop order streams b rows for cache friendliness.
+		for i := lo; i < hi; i++ {
+			di := dst.data[i*dst.cols : (i+1)*dst.cols]
+			ai := a.data[i*a.cols : (i+1)*a.cols]
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range bk {
+					di[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(a.rows, a.cols*b.cols, mulRange)
+	return dst
+}
+
+// MulBT stores a*bᵀ into dst (allocated if nil) and returns dst, without
+// materializing the transpose. dst must not alias a or b.
+func MulBT(dst, a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(dimErr("MulBT", a, b))
+	}
+	dst = mulDst(dst, a.rows, b.rows)
+	mulRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.data[i*a.cols : (i+1)*a.cols]
+			di := dst.data[i*dst.cols : (i+1)*dst.cols]
+			for j := 0; j < b.rows; j++ {
+				bj := b.data[j*b.cols : (j+1)*b.cols]
+				var s float64
+				for k, av := range ai {
+					s += av * bj[k]
+				}
+				di[j] = s
+			}
+		}
+	}
+	parallelRows(a.rows, a.cols*b.rows, mulRange)
+	return dst
+}
+
+// MulAT stores aᵀ*b into dst (allocated if nil) and returns dst, without
+// materializing the transpose. dst must not alias a or b.
+func MulAT(dst, a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(dimErr("MulAT", a, b))
+	}
+	dst = mulDst(dst, a.cols, b.cols)
+	// Accumulate row-by-row of a/b: dst += a_row ⊗ b_row.
+	// Serial: each a row touches the whole dst, so row-splitting would race.
+	// Parallelize over dst rows instead by partitioning columns of a.
+	work := a.rows * a.cols * b.cols
+	nw := workers(work)
+	if nw <= 1 || a.cols < 2*nw {
+		for r := 0; r < a.rows; r++ {
+			ar := a.data[r*a.cols : (r+1)*a.cols]
+			br := b.data[r*b.cols : (r+1)*b.cols]
+			for i, av := range ar {
+				if av == 0 {
+					continue
+				}
+				di := dst.data[i*dst.cols : (i+1)*dst.cols]
+				for j, bv := range br {
+					di[j] += av * bv
+				}
+			}
+		}
+		return dst
+	}
+	var wg sync.WaitGroup
+	chunk := (a.cols + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > a.cols {
+			hi = a.cols
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := 0; r < a.rows; r++ {
+				ar := a.data[r*a.cols : (r+1)*a.cols]
+				br := b.data[r*b.cols : (r+1)*b.cols]
+				for i := lo; i < hi; i++ {
+					av := ar[i]
+					if av == 0 {
+						continue
+					}
+					di := dst.data[i*dst.cols : (i+1)*dst.cols]
+					for j, bv := range br {
+						di[j] += av * bv
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst
+}
+
+// MulVec computes m*x for a dense vector x, storing into dst (allocated if
+// nil) and returning it.
+func MulVec(dst []float64, m *Dense, x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("mat: MulVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, m.rows)
+	}
+	if len(dst) != m.rows {
+		panic("mat: MulVec dst length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range ri {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+func mulDst(dst *Dense, r, c int) *Dense {
+	if dst == nil {
+		return NewDense(r, c)
+	}
+	if dst.rows != r || dst.cols != c {
+		panic(dimErr("mul dst", dst, &Dense{rows: r, cols: c}))
+	}
+	dst.Zero()
+	return dst
+}
+
+func workers(work int) int {
+	if work < parallelThreshold {
+		return 1
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// parallelRows runs fn over [0,rows) split into contiguous chunks across
+// workers when the total work is large enough; otherwise serially.
+func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
+	nw := workers(rows * workPerRow)
+	if nw <= 1 || rows < 2*nw {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,146 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is the reference triple-loop product used to validate the
+// optimized kernels.
+func naiveMul(a, b *Dense) *Dense {
+	out := NewDense(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			var s float64
+			for k := 0; k < a.Cols(); k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(nil, a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !EqualApprox(got, want, 1e-12) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomNormal(rng, 7, 7, 0, 1)
+	if !EqualApprox(Mul(nil, a, Identity(7)), a, 1e-12) {
+		t.Fatal("A*I != A")
+	}
+	if !EqualApprox(Mul(nil, Identity(7), a), a, 1e-12) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMulMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
+		a := RandomNormal(rng, n, k, 0, 1)
+		b := RandomNormal(rng, k, m, 0, 1)
+		return EqualApprox(Mul(nil, a, b), naiveMul(a, b), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulBTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n, k, m := 1+rng.Intn(9), 1+rng.Intn(9), 1+rng.Intn(9)
+		a := RandomNormal(rng, n, k, 0, 1)
+		b := RandomNormal(rng, m, k, 0, 1)
+		got := MulBT(nil, a, b)
+		want := Mul(nil, a, b.T())
+		if !EqualApprox(got, want, 1e-10) {
+			t.Fatalf("MulBT mismatch at trial %d", trial)
+		}
+	}
+}
+
+func TestMulATMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n, k, m := 1+rng.Intn(9), 1+rng.Intn(9), 1+rng.Intn(9)
+		a := RandomNormal(rng, n, k, 0, 1)
+		b := RandomNormal(rng, n, m, 0, 1)
+		got := MulAT(nil, a, b)
+		want := Mul(nil, a.T(), b)
+		if !EqualApprox(got, want, 1e-10) {
+			t.Fatalf("MulAT mismatch at trial %d (%dx%d × %dx%d)", trial, n, k, n, m)
+		}
+	}
+}
+
+func TestMulATParallelPath(t *testing.T) {
+	// Large enough to cross parallelThreshold and exercise the column-split path.
+	rng := rand.New(rand.NewSource(6))
+	a := RandomNormal(rng, 300, 80, 0, 1)
+	b := RandomNormal(rng, 300, 60, 0, 1)
+	got := MulAT(nil, a, b)
+	want := Mul(nil, a.T(), b)
+	if !EqualApprox(got, want, 1e-9) {
+		t.Fatal("parallel MulAT disagrees with serial transpose product")
+	}
+}
+
+func TestMulParallelPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := RandomNormal(rng, 260, 120, 0, 1)
+	b := RandomNormal(rng, 120, 70, 0, 1)
+	if !EqualApprox(Mul(nil, a, b), naiveMul(a, b), 1e-9) {
+		t.Fatal("parallel Mul disagrees with naive product")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := MulVec(nil, m, []float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "Mul")
+	Mul(nil, NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulDstReused(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := Identity(2)
+	dst := NewDense(2, 2)
+	dst.Fill(99) // stale contents must be cleared
+	Mul(dst, a, b)
+	if !EqualApprox(dst, a, 1e-12) {
+		t.Fatalf("dst reuse failed: %v", dst)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		a := RandomNormal(rng, n, n, 0, 1)
+		b := RandomNormal(rng, n, n, 0, 1)
+		c := RandomNormal(rng, n, n, 0, 1)
+		ab_c := Mul(nil, Mul(nil, a, b), c)
+		a_bc := Mul(nil, a, Mul(nil, b, c))
+		if !EqualApprox(ab_c, a_bc, 1e-9) {
+			t.Fatal("(AB)C != A(BC)")
+		}
+	}
+}

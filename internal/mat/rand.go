@@ -1,0 +1,31 @@
+package mat
+
+import "math/rand"
+
+// FillUniform fills m with i.i.d. samples from (lo, hi] using rng.
+func (m *Dense) FillUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range m.data {
+		m.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+}
+
+// FillNormal fills m with i.i.d. Gaussian samples N(mu, sigma²) using rng.
+func (m *Dense) FillNormal(rng *rand.Rand, mu, sigma float64) {
+	for i := range m.data {
+		m.data[i] = mu + sigma*rng.NormFloat64()
+	}
+}
+
+// RandomUniform returns an r×c matrix of uniform samples in (lo, hi].
+func RandomUniform(rng *rand.Rand, r, c int, lo, hi float64) *Dense {
+	m := NewDense(r, c)
+	m.FillUniform(rng, lo, hi)
+	return m
+}
+
+// RandomNormal returns an r×c matrix of Gaussian samples N(mu, sigma²).
+func RandomNormal(rng *rand.Rand, r, c int, mu, sigma float64) *Dense {
+	m := NewDense(r, c)
+	m.FillNormal(rng, mu, sigma)
+	return m
+}

@@ -1,0 +1,90 @@
+package mat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary layouts (little-endian):
+//
+//	Dense: magic "SMD1" | uint32 rows | uint32 cols | rows*cols float64
+//	Mask:  magic "SMM1" | uint32 rows | uint32 cols | ceil(rows*cols/64) uint64
+//
+// They back model persistence (core.Model.Save/Load): train once, deploy the
+// fitted factors without refitting.
+
+var (
+	denseMagic = [4]byte{'S', 'M', 'D', '1'}
+	maskMagic  = [4]byte{'S', 'M', 'M', '1'}
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Dense) MarshalBinary() ([]byte, error) {
+	if m.rows > math.MaxUint32 || m.cols > math.MaxUint32 {
+		return nil, errors.New("mat: matrix too large to serialize")
+	}
+	buf := make([]byte, 4+8+8*len(m.data))
+	copy(buf, denseMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m.rows))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.cols))
+	for i, v := range m.data {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Dense) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 || [4]byte(data[:4]) != denseMagic {
+		return errors.New("mat: not a serialized Dense")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[4:]))
+	cols := int(binary.LittleEndian.Uint32(data[8:]))
+	want := 12 + 8*rows*cols
+	if len(data) != want {
+		return fmt.Errorf("mat: Dense payload %d bytes, want %d", len(data), want)
+	}
+	m.rows, m.cols = rows, cols
+	m.data = make([]float64, rows*cols)
+	for i := range m.data {
+		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[12+8*i:]))
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Mask) MarshalBinary() ([]byte, error) {
+	if m.rows > math.MaxUint32 || m.cols > math.MaxUint32 {
+		return nil, errors.New("mat: mask too large to serialize")
+	}
+	buf := make([]byte, 4+8+8*len(m.words))
+	copy(buf, maskMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m.rows))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.cols))
+	for i, w := range m.words {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Mask) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 || [4]byte(data[:4]) != maskMagic {
+		return errors.New("mat: not a serialized Mask")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[4:]))
+	cols := int(binary.LittleEndian.Uint32(data[8:]))
+	nwords := (rows*cols + 63) / 64
+	want := 12 + 8*nwords
+	if len(data) != want {
+		return fmt.Errorf("mat: Mask payload %d bytes, want %d", len(data), want)
+	}
+	m.rows, m.cols = rows, cols
+	m.words = make([]uint64, nwords)
+	for i := range m.words {
+		m.words[i] = binary.LittleEndian.Uint64(data[12+8*i:])
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package metrics implements the evaluation criteria of Section IV-A2.
+package metrics
+
+import (
+	"errors"
+	"math"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// RMSOverHidden computes the paper's criterion
+//
+//	RMS = sqrt(‖R_Ψ(X* − X#)‖²_F / |Ψ|)
+//
+// where Ψ is the complement of omega: the error is measured only on the
+// entries that were hidden (or dirty) and later filled in.
+func RMSOverHidden(pred, truth *mat.Dense, omega *mat.Mask) (float64, error) {
+	psi := omega.Complement()
+	return RMSOverSet(pred, truth, psi)
+}
+
+// RMSOverSet computes the RMS error over the cells marked observed in set.
+func RMSOverSet(pred, truth *mat.Dense, set *mat.Mask) (float64, error) {
+	n := set.Count()
+	if n == 0 {
+		return 0, errors.New("metrics: empty evaluation set")
+	}
+	return math.Sqrt(set.MaskedFrob2(pred, truth) / float64(n)), nil
+}
+
+// MAEOverSet computes mean absolute error over the cells marked in set.
+func MAEOverSet(pred, truth *mat.Dense, set *mat.Mask) (float64, error) {
+	r, c := set.Dims()
+	n := set.Count()
+	if n == 0 {
+		return 0, errors.New("metrics: empty evaluation set")
+	}
+	var s float64
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if set.Observed(i, j) {
+				s += math.Abs(pred.At(i, j) - truth.At(i, j))
+			}
+		}
+	}
+	return s / float64(n), nil
+}

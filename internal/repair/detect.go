@@ -1,0 +1,81 @@
+package repair
+
+import (
+	"math"
+	"sort"
+
+	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/spatial"
+)
+
+// Detector flags suspicious cells. The paper delegates detection to external
+// systems (Raha); SpatialOutlierDetector is a self-contained stand-in for
+// pipelines that lack a detector: it flags cells that deviate strongly from
+// their spatial neighborhood.
+type Detector interface {
+	Name() string
+	Detect(x *mat.Dense, l int) (*mat.Mask, error)
+}
+
+// SpatialOutlierDetector flags cell (i,j) when its value differs from the
+// median of its p spatial neighbors by more than Threshold robust standard
+// deviations of that neighbor difference distribution.
+type SpatialOutlierDetector struct {
+	P         int     // spatial neighbors; default 5
+	Threshold float64 // robust z-score cutoff; default 4
+}
+
+// Name implements Detector.
+func (d *SpatialOutlierDetector) Name() string { return "SpatialOutlier" }
+
+// Detect implements Detector.
+func (d *SpatialOutlierDetector) Detect(x *mat.Dense, l int) (*mat.Mask, error) {
+	p := d.P
+	if p <= 0 {
+		p = 5
+	}
+	thr := d.Threshold
+	if thr <= 0 {
+		thr = 4
+	}
+	n, m := x.Dims()
+	si := x.Slice(0, n, 0, l)
+	g, err := spatial.BuildGraph(si, p, spatial.KDTreeMode)
+	if err != nil {
+		return nil, err
+	}
+	dirty := mat.NewMask(n, m)
+	for j := l; j < m; j++ {
+		// Deviation of each cell from its neighborhood median.
+		devs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			nbrs := g.Neighbors(i)
+			if len(nbrs) == 0 {
+				continue
+			}
+			vals := make([]float64, len(nbrs))
+			for t, r := range nbrs {
+				vals[t] = x.At(int(r), j)
+			}
+			sort.Float64s(vals)
+			devs[i] = x.At(i, j) - vals[len(vals)/2]
+		}
+		// Robust scale: median absolute deviation.
+		abs := make([]float64, n)
+		for i, v := range devs {
+			abs[i] = math.Abs(v)
+		}
+		sort.Float64s(abs)
+		mad := abs[n/2]
+		if mad < 1e-9 {
+			mad = 1e-9
+		}
+		scale := 1.4826 * mad
+		for i := 0; i < n; i++ {
+			if math.Abs(devs[i]) > thr*scale {
+				dirty.Observe(i, j)
+			}
+		}
+	}
+	return dirty, nil
+}

@@ -1,0 +1,131 @@
+package route
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/spatial"
+)
+
+// Planner selects energy-efficient routes over a fuel-consumption map — the
+// downstream application the paper's introduction motivates ("vehicles may
+// select the logistics route with less fuel consumption"). Telemetry points
+// become graph vertices, each vertex links to its k nearest spatial
+// neighbors, and an edge costs distance × mean fuel rate of its endpoints;
+// CheapestRoute runs Dijkstra on that graph.
+type Planner struct {
+	x       *mat.Dense
+	fuelCol int
+	adj     [][]edge
+}
+
+type edge struct {
+	to   int
+	cost float64
+}
+
+// NewPlanner indexes the table for route queries. x must have coordinates in
+// columns 0..1 and a nonnegative fuel rate in fuelCol; k is the connectivity
+// of the movement graph (default 4).
+func NewPlanner(x *mat.Dense, fuelCol, k int) (*Planner, error) {
+	n, m := x.Dims()
+	if n < 2 {
+		return nil, errors.New("route: need at least 2 points")
+	}
+	if m < 2 || fuelCol < 0 || fuelCol >= m {
+		return nil, errors.New("route: bad fuel column")
+	}
+	if k <= 0 {
+		k = 4
+	}
+	si := x.Slice(0, n, 0, 2)
+	g, err := spatial.BuildGraph(si, k, spatial.KDTreeMode)
+	if err != nil {
+		return nil, err
+	}
+	p := &Planner{x: x, fuelCol: fuelCol, adj: make([][]edge, n)}
+	for i := 0; i < n; i++ {
+		for _, j := range g.Neighbors(i) {
+			jj := int(j)
+			dx := x.At(i, 0) - x.At(jj, 0)
+			dy := x.At(i, 1) - x.At(jj, 1)
+			dist := math.Hypot(dx, dy)
+			rate := (x.At(i, p.fuelCol) + x.At(jj, p.fuelCol)) / 2
+			if rate < 0 {
+				rate = 0
+			}
+			p.adj[i] = append(p.adj[i], edge{to: jj, cost: dist * rate})
+		}
+	}
+	return p, nil
+}
+
+// CheapestRoute returns the minimum-fuel route between two vertices and its
+// accumulated fuel cost. ErrUnreachable is returned when the movement graph
+// does not connect them.
+func (p *Planner) CheapestRoute(from, to int) (Route, float64, error) {
+	n := len(p.adj)
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return Route{}, 0, errors.New("route: endpoint out of range")
+	}
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[from] = 0
+	pq := &priorityQueue{{node: from, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(pqItem)
+		if cur.dist > dist[cur.node] {
+			continue // stale entry
+		}
+		if cur.node == to {
+			break
+		}
+		for _, e := range p.adj[cur.node] {
+			if nd := cur.dist + e.cost; nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = cur.node
+				heap.Push(pq, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[to], 1) {
+		return Route{}, 0, ErrUnreachable
+	}
+	// Reconstruct the path.
+	var stops []int
+	for v := to; v != -1; v = prev[v] {
+		stops = append(stops, v)
+	}
+	for i, j := 0, len(stops)-1; i < j; i, j = i+1, j-1 {
+		stops[i], stops[j] = stops[j], stops[i]
+	}
+	return Route{Stops: stops}, dist[to], nil
+}
+
+// ErrUnreachable is returned when no path connects the requested endpoints.
+var ErrUnreachable = errors.New("route: endpoints not connected")
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

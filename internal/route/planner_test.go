@@ -1,0 +1,210 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// lineMap is points on a line with configurable fuel rates.
+func lineMap(rates []float64) *mat.Dense {
+	n := len(rates)
+	x := mat.NewDense(n, 3)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 2, rates[i])
+	}
+	return x
+}
+
+func TestCheapestRouteOnLine(t *testing.T) {
+	x := lineMap([]float64{1, 1, 1, 1, 1})
+	p, err := NewPlanner(x, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, cost, err := p.CheapestRoute(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stops[0] != 0 || r.Stops[len(r.Stops)-1] != 4 {
+		t.Fatalf("route = %v", r.Stops)
+	}
+	// Total distance 4, rate 1 everywhere → cost 4.
+	if math.Abs(cost-4) > 1e-9 {
+		t.Fatalf("cost = %v, want 4", cost)
+	}
+}
+
+func TestCheapestRouteAvoidsExpensiveRegion(t *testing.T) {
+	// A 3×3 grid where the center row is extremely expensive: the route
+	// from bottom-left to bottom-right must not pass through the center.
+	rows := [][]float64{
+		{0, 0, 1}, {1, 0, 1}, {2, 0, 1}, // cheap bottom row
+		{0, 1, 50}, {1, 1, 50}, {2, 1, 50}, // expensive middle
+		{0, 2, 1}, {1, 2, 1}, {2, 2, 1}, // cheap top
+	}
+	x := mat.FromRows(rows)
+	p, err := NewPlanner(x, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, cost, err := p.CheapestRoute(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Stops {
+		if s >= 3 && s <= 5 {
+			t.Fatalf("route %v passes through the expensive row", r.Stops)
+		}
+	}
+	if cost > 3 {
+		t.Fatalf("cost = %v, should hug the cheap row", cost)
+	}
+}
+
+func TestCheapestRouteMatchesAccumulatedFuel(t *testing.T) {
+	x := lineMap([]float64{2, 4, 6, 8})
+	p, err := NewPlanner(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, cost, err := p.CheapestRoute(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AccumulatedFuel(x, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-want) > 1e-9 {
+		t.Fatalf("planner cost %v != AccumulatedFuel %v", cost, want)
+	}
+}
+
+func TestUnreachableEndpoints(t *testing.T) {
+	// Two far-apart pairs; with k=1 the graph splits into two components.
+	x := mat.FromRows([][]float64{
+		{0, 0, 1}, {0.1, 0, 1},
+		{100, 100, 1}, {100.1, 100, 1},
+	})
+	p, err := NewPlanner(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.CheapestRoute(0, 2); err != ErrUnreachable {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	if _, err := NewPlanner(mat.NewDense(1, 3), 2, 2); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	if _, err := NewPlanner(mat.NewDense(5, 3), 9, 2); err == nil {
+		t.Fatal("expected fuel-column error")
+	}
+	x := lineMap([]float64{1, 1, 1})
+	p, err := NewPlanner(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.CheapestRoute(-1, 2); err == nil {
+		t.Fatal("expected endpoint range error")
+	}
+}
+
+func TestPlannerOnImputedMapPrefersTrueCheapRoutes(t *testing.T) {
+	// End-to-end: plan on a synthetic vehicle map; the selected route's true
+	// cost should be no worse than a straight-line greedy route.
+	res, err := dataset.Vehicle(0.003, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Data.Normalize()
+	x := res.Data.X
+	n, m := x.Dims()
+	p, err := NewPlanner(x, m-1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find any connected pair by trying a few.
+	var done bool
+	for from := 0; from < 10 && !done; from++ {
+		for to := n - 10; to < n && !done; to++ {
+			r, cost, err := p.CheapestRoute(from, to)
+			if err != nil {
+				continue
+			}
+			if len(r.Stops) < 2 {
+				t.Fatal("degenerate route")
+			}
+			if cost < 0 {
+				t.Fatal("negative cost")
+			}
+			done = true
+		}
+	}
+	if !done {
+		t.Skip("no connected pair found at this scale")
+	}
+}
+
+// TestCheapestRouteMatchesBruteForceProperty validates Dijkstra against an
+// exhaustive simple-path search on small random maps.
+func TestCheapestRouteMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(4)
+		x := mat.NewDense(n, 3)
+		for i := 0; i < n; i++ {
+			x.Set(i, 0, rng.Float64())
+			x.Set(i, 1, rng.Float64())
+			x.Set(i, 2, 0.1+rng.Float64())
+		}
+		p, err := NewPlanner(x, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from, to := 0, n-1
+		_, got, err := p.CheapestRoute(from, to)
+		if err == ErrUnreachable {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteCheapest(p, from, to)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Dijkstra %v vs brute %v", trial, got, want)
+		}
+	}
+}
+
+// bruteCheapest enumerates all simple paths by DFS over the planner's graph.
+func bruteCheapest(p *Planner, from, to int) float64 {
+	best := math.Inf(1)
+	visited := make([]bool, len(p.adj))
+	var dfs func(node int, cost float64)
+	dfs = func(node int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if node == to {
+			best = cost
+			return
+		}
+		visited[node] = true
+		for _, e := range p.adj[node] {
+			if !visited[e.to] {
+				dfs(e.to, cost+e.cost)
+			}
+		}
+		visited[node] = false
+	}
+	dfs(from, 0)
+	return best
+}

@@ -1,0 +1,223 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Graph is the symmetric binary p-NN similarity structure of Formula 3:
+// d_ij = 1 iff x_i ∈ NN_p(x_j) or x_j ∈ NN_p(x_i). Only the adjacency lists
+// and degrees are stored — D is sparse with ≤ 2pN nonzeros.
+type Graph struct {
+	n   int
+	adj [][]int32 // sorted neighbor lists, no self loops
+	deg []float64 // w_ii = Σ_t d_it (Formula 4)
+}
+
+// BuildMode selects the neighbor-search backend for BuildGraph.
+type BuildMode int
+
+const (
+	// KDTreeMode uses the KD-tree index (expected O(N log N) for small L).
+	KDTreeMode BuildMode = iota
+	// BruteForceMode uses exact O(N²L) scans, matching Proposition 1.
+	BruteForceMode
+)
+
+// BuildGraph constructs the p-NN graph over the rows of si (the N×L spatial
+// information block).
+func BuildGraph(si *mat.Dense, p int, mode BuildMode) (*Graph, error) {
+	n, l := si.Dims()
+	if p <= 0 {
+		return nil, errors.New("spatial: p must be positive")
+	}
+	if l == 0 {
+		return nil, errors.New("spatial: spatial information has zero columns")
+	}
+	if !si.IsFinite() {
+		return nil, errors.New("spatial: SI contains NaN or Inf; fill missing values first")
+	}
+	pts := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i] = si.Row(i)
+	}
+	sets := make([]map[int32]struct{}, n)
+	for i := range sets {
+		sets[i] = make(map[int32]struct{}, 2*p)
+	}
+	add := func(i int, nbrs []int) {
+		for _, j := range nbrs {
+			if j == i {
+				continue
+			}
+			sets[i][int32(j)] = struct{}{}
+			sets[j][int32(i)] = struct{}{} // symmetrize (the "or" in Formula 3)
+		}
+	}
+	switch mode {
+	case KDTreeMode:
+		tree := NewKDTree(pts)
+		for i := 0; i < n; i++ {
+			add(i, tree.KNN(pts[i], p, i))
+		}
+	case BruteForceMode:
+		for i := 0; i < n; i++ {
+			add(i, bruteKNN(pts, pts[i], p, i))
+		}
+	default:
+		return nil, fmt.Errorf("spatial: unknown build mode %d", mode)
+	}
+	g := &Graph{n: n, adj: make([][]int32, n), deg: make([]float64, n)}
+	for i, s := range sets {
+		lst := make([]int32, 0, len(s))
+		for j := range s {
+			lst = append(lst, j)
+		}
+		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+		g.adj[i] = lst
+		g.deg[i] = float64(len(lst))
+	}
+	return g, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns w_ii for vertex i.
+func (g *Graph) Degree(i int) float64 { return g.deg[i] }
+
+// Neighbors returns the sorted neighbor list of vertex i (read-only).
+func (g *Graph) Neighbors(i int) []int32 { return g.adj[i] }
+
+// Edges returns the total number of undirected edges.
+func (g *Graph) Edges() int {
+	var s int
+	for _, a := range g.adj {
+		s += len(a)
+	}
+	return s / 2
+}
+
+// Connected reports whether d_ij = 1.
+func (g *Graph) Connected(i, j int) bool {
+	a := g.adj[i]
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < int32(j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == int32(j)
+}
+
+// MulD stores D·u into dst (allocated if nil): (DU)_i = Σ_{j∈adj(i)} u_j.
+func (g *Graph) MulD(dst, u *mat.Dense) *mat.Dense {
+	r, c := u.Dims()
+	if r != g.n {
+		panic(fmt.Sprintf("spatial: MulD rows %d, graph has %d", r, g.n))
+	}
+	if dst == nil {
+		dst = mat.NewDense(r, c)
+	}
+	for i := 0; i < g.n; i++ {
+		di := dst.Row(i)
+		for k := range di {
+			di[k] = 0
+		}
+		for _, j := range g.adj[i] {
+			uj := u.Row(int(j))
+			for k, v := range uj {
+				di[k] += v
+			}
+		}
+	}
+	return dst
+}
+
+// MulW stores W·u into dst (allocated if nil): (WU)_i = deg_i · u_i.
+func (g *Graph) MulW(dst, u *mat.Dense) *mat.Dense {
+	r, c := u.Dims()
+	if r != g.n {
+		panic(fmt.Sprintf("spatial: MulW rows %d, graph has %d", r, g.n))
+	}
+	if dst == nil {
+		dst = mat.NewDense(r, c)
+	}
+	for i := 0; i < g.n; i++ {
+		d := g.deg[i]
+		ui := u.Row(i)
+		di := dst.Row(i)
+		for k, v := range ui {
+			di[k] = d * v
+		}
+	}
+	return dst
+}
+
+// MulL stores L·u = (W−D)·u into dst (allocated if nil).
+func (g *Graph) MulL(dst, u *mat.Dense) *mat.Dense {
+	dst = g.MulW(dst, u)
+	for i := 0; i < g.n; i++ {
+		di := dst.Row(i)
+		for _, j := range g.adj[i] {
+			uj := u.Row(int(j))
+			for k, v := range uj {
+				di[k] -= v
+			}
+		}
+	}
+	return dst
+}
+
+// QuadForm returns Tr(UᵀLU) = ½ Σ_ij d_ij ‖u_i − u_j‖², the spatial
+// regularizer O_SR of Section II-C. It is always ≥ 0.
+func (g *Graph) QuadForm(u *mat.Dense) float64 {
+	r, c := u.Dims()
+	if r != g.n {
+		panic(fmt.Sprintf("spatial: QuadForm rows %d, graph has %d", r, g.n))
+	}
+	var s float64
+	for i := 0; i < g.n; i++ {
+		ui := u.Row(i)
+		for _, j := range g.adj[i] {
+			if int(j) < i {
+				continue // count each undirected edge once
+			}
+			uj := u.Row(int(j))
+			for k := 0; k < c; k++ {
+				d := ui[k] - uj[k]
+				s += d * d
+			}
+		}
+	}
+	return s
+}
+
+// DenseD materializes D as a dense matrix — for tests and tiny inputs only.
+func (g *Graph) DenseD() *mat.Dense {
+	d := mat.NewDense(g.n, g.n)
+	for i := 0; i < g.n; i++ {
+		for _, j := range g.adj[i] {
+			d.Set(i, int(j), 1)
+		}
+	}
+	return d
+}
+
+// DenseL materializes L = W − D as a dense matrix — for tests only.
+func (g *Graph) DenseL() *mat.Dense {
+	l := mat.NewDense(g.n, g.n)
+	for i := 0; i < g.n; i++ {
+		l.Set(i, i, g.deg[i])
+		for _, j := range g.adj[i] {
+			l.Set(i, int(j), -1)
+		}
+	}
+	return l
+}

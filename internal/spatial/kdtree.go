@@ -1,0 +1,170 @@
+// Package spatial builds the p-nearest-neighbor similarity graph over
+// spatial information SI (Formula 3 of the paper), its degree matrix W
+// (Formula 4) and the graph Laplacian L = W − D, and provides the sparse
+// products DU, WU, LU needed by the SMF/SMFL multiplicative updates.
+//
+// Neighbor search is backed by a KD-tree (expected O(N log N) construction
+// of the whole graph for low-dimensional SI); an exact brute-force mode is
+// kept both as a correctness oracle and for fidelity with the paper's
+// O(N²L) Proposition 1 analysis.
+package spatial
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// kdNode is one node of the KD-tree over point indices.
+type kdNode struct {
+	point       int // index into the point set
+	axis        int
+	left, right *kdNode
+}
+
+// KDTree indexes points in R^dim for k-nearest-neighbor queries.
+type KDTree struct {
+	pts  [][]float64
+	dim  int
+	root *kdNode
+}
+
+// NewKDTree builds a balanced KD-tree over pts. All points must share the
+// same dimensionality. The point slices are referenced, not copied.
+func NewKDTree(pts [][]float64) *KDTree {
+	if len(pts) == 0 {
+		return &KDTree{}
+	}
+	dim := len(pts[0])
+	for i, p := range pts {
+		if len(p) != dim {
+			panic(fmt.Sprintf("spatial: point %d has dim %d, want %d", i, len(p), dim))
+		}
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &KDTree{pts: pts, dim: dim}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *KDTree) build(idx []int, depth int) *kdNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	sort.Slice(idx, func(a, b int) bool { return t.pts[idx[a]][axis] < t.pts[idx[b]][axis] })
+	mid := len(idx) / 2
+	n := &kdNode{point: idx[mid], axis: axis}
+	n.left = t.build(idx[:mid], depth+1)
+	n.right = t.build(idx[mid+1:], depth+1)
+	return n
+}
+
+// neighborHeap is a bounded max-heap of (dist², index) used during search.
+type neighborHeap []neighbor
+
+type neighbor struct {
+	dist2 float64
+	idx   int
+}
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].dist2 > h[j].dist2 } // max-heap
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the indices of the k nearest points to q, excluding any index
+// equal to exclude (pass -1 to keep all). Results are sorted by increasing
+// distance. Fewer than k indices are returned when the tree is small.
+func (t *KDTree) KNN(q []float64, k, exclude int) []int {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	if len(q) != t.dim {
+		panic(fmt.Sprintf("spatial: query dim %d, want %d", len(q), t.dim))
+	}
+	h := make(neighborHeap, 0, k+1)
+	t.search(t.root, q, k, exclude, &h)
+	out := make([]neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool { return out[a].dist2 < out[b].dist2 })
+	idx := make([]int, len(out))
+	for i, nb := range out {
+		idx[i] = nb.idx
+	}
+	return idx
+}
+
+func (t *KDTree) search(n *kdNode, q []float64, k, exclude int, h *neighborHeap) {
+	if n == nil {
+		return
+	}
+	if n.point != exclude {
+		d2 := dist2(q, t.pts[n.point])
+		if h.Len() < k {
+			heap.Push(h, neighbor{d2, n.point})
+		} else if d2 < (*h)[0].dist2 {
+			heap.Pop(h)
+			heap.Push(h, neighbor{d2, n.point})
+		}
+	}
+	diff := q[n.axis] - t.pts[n.point][n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, k, exclude, h)
+	// Prune the far side when the splitting plane is farther than the current
+	// worst neighbor.
+	if h.Len() < k || diff*diff < (*h)[0].dist2 {
+		t.search(far, q, k, exclude, h)
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// bruteKNN is the exact reference used in tests and brute-force graph mode.
+func bruteKNN(pts [][]float64, q []float64, k, exclude int) []int {
+	type cand struct {
+		d2  float64
+		idx int
+	}
+	cands := make([]cand, 0, len(pts))
+	for i, p := range pts {
+		if i == exclude {
+			continue
+		}
+		cands = append(cands, cand{dist2(q, p), i})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d2 != cands[b].d2 {
+			return cands[a].d2 < cands[b].d2
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package spatial
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestKNNMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(60)
+		dim := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(5)
+		pts := randomPoints(rng, n, dim)
+		tree := NewKDTree(pts)
+		for qi := 0; qi < n; qi += 1 + n/8 {
+			got := tree.KNN(pts[qi], k, qi)
+			want := bruteKNN(pts, pts[qi], k, qi)
+			// Distances must match even if equal-distance ties pick
+			// different indices.
+			gd := distances(pts, pts[qi], got)
+			wd := distances(pts, pts[qi], want)
+			if !approxSliceEqual(gd, wd, 1e-12) {
+				t.Fatalf("trial %d query %d: kdtree dists %v, brute %v", trial, qi, gd, wd)
+			}
+		}
+	}
+}
+
+func distances(pts [][]float64, q []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = dist2(q, pts[j])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func approxSliceEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if d := a[i] - b[i]; d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKNNExcludesSelf(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	tree := NewKDTree(pts)
+	got := tree.KNN(pts[0], 2, 0)
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("KNN = %v", got)
+	}
+}
+
+func TestKNNSortedByDistance(t *testing.T) {
+	pts := [][]float64{{0}, {3}, {1}, {10}}
+	tree := NewKDTree(pts)
+	got := tree.KNN([]float64{0}, 3, 0)
+	if !reflect.DeepEqual(got, []int{2, 1, 3}) {
+		t.Fatalf("KNN = %v, want [2 1 3]", got)
+	}
+}
+
+func TestKNNSmallTree(t *testing.T) {
+	pts := [][]float64{{1, 1}}
+	tree := NewKDTree(pts)
+	if got := tree.KNN(pts[0], 3, 0); len(got) != 0 {
+		t.Fatalf("single-point tree with exclusion should return nothing, got %v", got)
+	}
+	if got := tree.KNN([]float64{0, 0}, 3, -1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKNNEmptyTree(t *testing.T) {
+	tree := NewKDTree(nil)
+	if got := tree.KNN([]float64{0}, 1, -1); got != nil {
+		t.Fatalf("empty tree KNN = %v", got)
+	}
+}
+
+func TestKNNDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {5, 5}}
+	tree := NewKDTree(pts)
+	got := tree.KNN(pts[0], 2, 0)
+	for _, j := range got {
+		if j == 0 {
+			t.Fatal("excluded index returned")
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	// Both must be the co-located duplicates, not the far point.
+	for _, j := range got {
+		if j == 3 {
+			t.Fatalf("far point chosen over duplicates: %v", got)
+		}
+	}
+}
+
+func TestKDTreeMismatchedDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKDTree([][]float64{{1, 2}, {3}})
+}

@@ -8,6 +8,7 @@
 package smfl_bench
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -183,6 +184,10 @@ func BenchmarkTruncatedSVD(b *testing.B) {
 	}
 }
 
+// BenchmarkFoldIn measures fold-in cost at the batch sizes the serving
+// layer's micro-batcher produces. The ns/row metric is the number to compare
+// across sub-benchmarks: it quantifies how much one coalesced FoldIn call
+// amortizes the masked-matmul cost versus per-row fold-in (rows=1).
 func BenchmarkFoldIn(b *testing.B) {
 	res, err := dataset.Generate(dataset.Spec{
 		Name: "bench", N: 500, M: 8, L: 2,
@@ -198,11 +203,16 @@ func BenchmarkFoldIn(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fresh := res.Data.X.Slice(0, 100, 0, 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := model.FoldIn(fresh, nil, 50); err != nil {
-			b.Fatal(err)
-		}
+	for _, rows := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			fresh := res.Data.X.Slice(0, rows, 0, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.FoldIn(fresh, nil, 50); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/row")
+		})
 	}
 }

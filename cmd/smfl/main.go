@@ -36,10 +36,12 @@ func main() {
 	}
 }
 
+const usage = "usage: smfl impute|repair|cluster|foldin [flags]"
+
 // run executes one subcommand; factored out of main for tests.
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
-		return errors.New("usage: smfl impute|repair|cluster [flags]")
+		return errors.New(usage)
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -185,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ds.X.Rows(), mask.CountHidden())
 
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
 	}
 	return nil
 }
@@ -202,41 +204,49 @@ func parseMethod(s string) (core.Method, error) {
 	return 0, fmt.Errorf("unknown method %q", s)
 }
 
-// artifact bundles a fitted model with the training normalization so the
-// foldin subcommand can accept CSVs in original units.
+// artifact is the legacy -savemodel container: a gob wrapper bundling a
+// model with the training normalization. Since wire version 2 the model file
+// itself carries the stats (core.Model.Norm), so saveArtifact writes a plain
+// .smfl file; loadArtifact still reads both formats.
 type artifact struct {
 	Model      []byte
 	Mins, Maxs []float64
 }
 
 func saveArtifact(path string, model *core.Model, nz *dataset.Normalizer) error {
-	var buf bytes.Buffer
-	if err := model.Save(&buf); err != nil {
-		return err
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return gob.NewEncoder(f).Encode(&artifact{Model: buf.Bytes(), Mins: nz.Mins, Maxs: nz.Maxs})
+	model.Norm = &core.Norm{Mins: nz.Mins, Maxs: nz.Maxs}
+	return model.SaveFile(path)
 }
 
 func loadArtifact(path string) (*core.Model, *dataset.Normalizer, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	if model, err := core.Load(bytes.NewReader(raw)); err == nil {
+		if model.Norm == nil {
+			return nil, nil, errors.New("model file carries no normalization stats; refit with a current smfl -savemodel")
+		}
+		nz, err := dataset.NewNormalizer(model.Norm.Mins, model.Norm.Maxs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return model, nz, nil
+	}
+	// Legacy wrapper written before wire version 2.
 	var a artifact
-	if err := gob.NewDecoder(f).Decode(&a); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&a); err != nil {
 		return nil, nil, err
 	}
 	model, err := core.Load(bytes.NewReader(a.Model))
 	if err != nil {
 		return nil, nil, err
 	}
-	return model, &dataset.Normalizer{Mins: a.Mins, Maxs: a.Maxs}, nil
+	nz, err := dataset.NewNormalizer(a.Mins, a.Maxs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, nz, nil
 }
 
 func writeOut(ds *dataset.Dataset, out string, stdout io.Writer) error {

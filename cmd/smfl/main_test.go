@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"strings"
@@ -110,14 +111,22 @@ func TestRunClusterEndToEnd(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errW bytes.Buffer
-	if err := run(nil, &out, &errW); err == nil {
+	err := run(nil, &out, &errW)
+	if err == nil {
 		t.Fatal("expected usage error")
+	}
+	if !strings.Contains(err.Error(), "foldin") {
+		t.Fatalf("usage omits the foldin subcommand: %v", err)
 	}
 	if err := run([]string{"impute"}, &out, &errW); err == nil {
 		t.Fatal("expected -in required error")
 	}
-	if err := run([]string{"frobnicate", "-in", "x"}, &out, &errW); err == nil {
+	err = run([]string{"frobnicate", "-in", "x"}, &out, &errW)
+	if err == nil {
 		t.Fatal("expected unknown-command error")
+	}
+	if !strings.Contains(err.Error(), usage) {
+		t.Fatalf("unknown command does not print usage: %v", err)
 	}
 	if err := run([]string{"impute", "-in", "x.csv", "-method", "huh"}, &out, &errW); err == nil {
 		t.Fatal("expected unknown-method error")
@@ -151,6 +160,69 @@ func TestRunImputeSaveModelAndFoldIn(t *testing.T) {
 	}
 	if _, err := dataset.LoadCSV(foldOut, "fold", 2); err != nil {
 		t.Fatalf("fold output incomplete: %v", err)
+	}
+}
+
+// TestSaveModelIsLoadableByCore asserts the -savemodel output is a plain
+// wire-v2 .smfl file (the format cmd/smfld serves) carrying norm stats.
+func TestSaveModelIsLoadableByCore(t *testing.T) {
+	in := writeTempCSV(t, true)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.smfl")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"impute", "-in", in, "-out", filepath.Join(dir, "f.csv"),
+		"-k", "3", "-maxiter", "40", "-savemodel", modelPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.LoadFile(modelPath)
+	if err != nil {
+		t.Fatalf("savemodel output not core.Load-able: %v", err)
+	}
+	if model.Norm == nil || len(model.Norm.Mins) != 5 {
+		t.Fatalf("savemodel output missing norm stats: %+v", model.Norm)
+	}
+}
+
+// TestLoadArtifactLegacyFormat asserts artifacts written by the pre-wire-v2
+// CLI (gob wrapper bundling model bytes with normalization slices) still
+// feed the foldin subcommand.
+func TestLoadArtifactLegacyFormat(t *testing.T) {
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "legacy", N: 100, M: 5, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 3, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz, err := res.Data.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Fit(res.Data.X, nil, 2, core.SMFL, core.Config{K: 3, MaxIter: 40, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modelBuf bytes.Buffer
+	if err := model.Save(&modelBuf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.smfl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := artifact{Model: modelBuf.Bytes(), Mins: nz.Mins, Maxs: nz.Maxs}
+	if err := gob.NewEncoder(f).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, gotNz, err := loadArtifact(path)
+	if err != nil {
+		t.Fatalf("legacy artifact no longer loads: %v", err)
+	}
+	if got.Config.K != 3 || len(gotNz.Mins) != 5 {
+		t.Fatalf("legacy artifact corrupted: K=%d mins=%v", got.Config.K, gotNz.Mins)
 	}
 }
 

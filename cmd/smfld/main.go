@@ -1,0 +1,127 @@
+// Command smfld serves fitted SMFL models over HTTP: an online imputation
+// daemon hosting a hot-reloadable model registry, micro-batched fold-in, and
+// operational metrics (see internal/serve).
+//
+// Usage:
+//
+//	smfld -addr :8080 -model air=air.smfl -model fuel=fuel.smfl \
+//	      [-window 2ms] [-maxbatch 256] [-queue 1024] [-iters 100]
+//
+// Model files are the .smfl artifacts written by `smfl impute -savemodel`
+// (or core.Model.SaveFile). Files written since wire version 2 carry the
+// training normalization, so requests and responses travel in original
+// units; older files are served in normalized units.
+//
+//	curl -s localhost:8080/v1/models/air/impute -d '{"rows": [[39.9, 116.4, null, 57.0]]}'
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
+// requests (pending micro-batches included), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/serve"
+)
+
+// modelFlags collects repeated -model name=path pairs.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, s := range *m {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "smfld: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (signal) or the
+// listener fails; factored out of main for tests. ready, when non-nil, is
+// called with the bound address once the server is accepting connections.
+func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("smfld", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	window := fs.Duration("window", 2*time.Millisecond, "micro-batch coalescing window")
+	maxBatch := fs.Int("maxbatch", 256, "flush a batch once this many rows are pending")
+	queue := fs.Int("queue", 1024, "per-model pending request cap")
+	iters := fs.Int("iters", 100, "fold-in iteration cap per batch")
+	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown deadline")
+	var models modelFlags
+	fs.Var(&models, "model", "serve a model as name=path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(models) == 0 {
+		return errors.New("at least one -model name=path is required")
+	}
+
+	metrics := serve.NewMetrics()
+	registry := serve.NewRegistry(serve.Config{
+		Window: *window, MaxBatchRows: *maxBatch, QueueDepth: *queue, FoldInIters: *iters,
+	}, metrics)
+	defer registry.Close()
+	for _, m := range models {
+		entry, err := registry.LoadFile(m.name, m.path)
+		if err != nil {
+			return err
+		}
+		k, cols := entry.Model.V.Dims()
+		fmt.Fprintf(stderr, "smfld: serving %q (%s, K=%d, %d columns, norm=%v) from %s\n",
+			m.name, entry.Model.Method, k, cols, entry.Norm != nil, m.path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: serve.NewServer(registry, metrics).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+	fmt.Fprintf(stderr, "smfld: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "smfld: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

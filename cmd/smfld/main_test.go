@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+)
+
+func TestModelFlags(t *testing.T) {
+	var m modelFlags
+	if err := m.Set("air=/tmp/a.smfl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("fuel=/tmp/b.smfl"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != "air=/tmp/a.smfl,fuel=/tmp/b.smfl" {
+		t.Fatalf("String = %q", got)
+	}
+	for _, bad := range []string{"", "justaname", "=path", "name="} {
+		if err := m.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(context.Background(), nil, &stderr, nil); err == nil {
+		t.Fatal("expected missing -model error")
+	}
+	if err := run(context.Background(), []string{"-model", "m=/nonexistent.smfl"}, &stderr, nil); err == nil {
+		t.Fatal("expected load error")
+	}
+}
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port, imputes
+// through it, and verifies context cancellation (the signal path) shuts it
+// down cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "smfld", N: 150, M: 5, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 3, Noise: 0.02, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := res.Data.X.Clone()
+	nz, err := res.Data.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Fit(res.Data.X, nil, 2, core.SMFL, core.Config{K: 4, MaxIter: 80, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Norm = &core.Norm{Mins: nz.Mins, Maxs: nz.Maxs}
+	path := filepath.Join(t.TempDir(), "m.smfl")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrs := make(chan string, 1)
+	var stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-model", "m=" + path},
+			&stderr, func(addr string) { addrs <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrs:
+	case err := <-done:
+		t.Fatalf("run exited early: %v (stderr %s)", err, stderr.String())
+	}
+
+	// One in-range row (original units) with its middle cell missing.
+	cells := make([]any, orig.Cols())
+	for j := range cells {
+		cells[j] = orig.At(0, j)
+	}
+	cells[2] = nil
+	body, err := json.Marshal(map[string]any{"rows": []any{cells}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/models/m/impute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Filled int    `json:"filled"`
+		Units  string `json:"units"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Filled != 1 || out.Units != "original" {
+		t.Fatalf("impute: status %d body %+v", resp.StatusCode, out)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing daemon stderr.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var _ io.Writer = (*syncBuffer)(nil)

@@ -158,7 +158,35 @@ func (c Config) validate(n, m, l int, method Method) error {
 	return nil
 }
 
+// Norm carries the per-column min/max normalization fitted on the training
+// table (Section IV-A1). When attached to a Model it travels through
+// Save/Load, so deployments can map fold-in rows arriving in original units
+// into model space and predictions back out without a side-channel file.
+type Norm struct {
+	Mins, Maxs []float64
+}
+
+// Validate checks that the stats describe m columns of finite, ordered
+// ranges.
+func (n *Norm) Validate(m int) error {
+	if len(n.Mins) != m || len(n.Maxs) != m {
+		return fmt.Errorf("core: Norm has %d/%d stats for %d columns", len(n.Mins), len(n.Maxs), m)
+	}
+	for j := range n.Mins {
+		if n.Maxs[j] < n.Mins[j] {
+			return fmt.Errorf("core: Norm column %d has max %v < min %v", j, n.Maxs[j], n.Mins[j])
+		}
+	}
+	return nil
+}
+
 // Model is a fitted factorization X ≈ U·V.
+//
+// A Model is immutable once Fit or Load returns: Predict, Recover, FoldIn,
+// CompleteRows and FeatureLocations only read it, so a single Model may be
+// shared by any number of concurrent goroutines (the serving layer relies on
+// this; see the -race test in foldin_test.go). Hot reloads must swap the
+// *Model pointer rather than mutate fields in place.
 type Model struct {
 	Method Method
 	Config Config
@@ -167,6 +195,10 @@ type Model struct {
 	U *mat.Dense // N×K coefficient matrix
 	V *mat.Dense // K×M feature matrix (first L columns = landmarks for SMFL)
 	C *mat.Dense // K×L landmark matrix (nil unless SMFL)
+
+	// Norm, when non-nil, is the training normalization (saved since wire
+	// version 2; nil for models loaded from v1 files).
+	Norm *Norm
 
 	Objective []float64 // objective value after each iteration
 	Iters     int       // iterations actually run

@@ -22,6 +22,12 @@ import (
 // rows is R×M in the same normalized units as the training matrix; omega
 // marks its observed entries (nil = fully observed). It returns the R×K
 // coefficient block.
+//
+// FoldIn only reads the receiver (V, Config) and allocates all scratch
+// locally, so concurrent calls against one Model are safe — audited together
+// with internal/mat, whose operations share no package-level mutable state
+// and only fan goroutines out over disjoint destination rows. The serving
+// layer's micro-batcher (internal/serve) depends on this.
 func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense, error) {
 	r, cols := rows.Dims()
 	_, vm := m.V.Dims()

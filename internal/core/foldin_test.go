@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/spatialmf/smfl/internal/dataset"
@@ -114,6 +115,42 @@ func TestFoldInValidation(t *testing.T) {
 	}
 	if _, err := model.FoldIn(test, mat.FullMask(1, 6), 10); err == nil {
 		t.Fatal("expected mask shape error")
+	}
+}
+
+// TestFoldInConcurrent exercises the concurrency contract the serving layer
+// relies on: many goroutines folding into one loaded Model concurrently must
+// neither race (run under -race) nor diverge from the serial result.
+func TestFoldInConcurrent(t *testing.T) {
+	model, test := foldInFixture(t)
+	n, m := test.Dims()
+	omega := mat.FullMask(n, m)
+	for i := 0; i < n; i++ {
+		omega.Hide(i, 2+(i%(m-2)))
+	}
+	want, err := model.FoldIn(test, omega, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	got := make([]*mat.Dense, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w], errs[w] = model.FoldIn(test, omega, 60)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !mat.EqualApprox(got[w], want, 0) {
+			t.Fatalf("worker %d diverged from the serial fold-in", w)
+		}
 	}
 }
 

@@ -9,6 +9,13 @@ import (
 	"github.com/spatialmf/smfl/internal/mat"
 )
 
+// wireVersion is the current .smfl container version. Version 1 files (no
+// Version field on the wire, no normalization stats) predate the serving
+// layer; gob leaves the absent fields zero, so Load reads them unchanged.
+// Decoders must tolerate unknown future fields the same way: never repurpose
+// a field name, only append.
+const wireVersion = 2
+
 // modelWire is the gob-encodable image of a fitted Model. Matrices travel
 // through their binary marshalers (see internal/mat/serialize.go).
 type modelWire struct {
@@ -19,6 +26,10 @@ type modelWire struct {
 	Objective []float64
 	Iters     int
 	Converged bool
+
+	// Since version 2.
+	Version            int
+	NormMins, NormMaxs []float64
 }
 
 // configWire mirrors Config minus the non-serializable Weights matrix (a
@@ -69,6 +80,14 @@ func (m *Model) Save(w io.Writer) error {
 		},
 		L: m.L, U: u, V: v, C: c,
 		Objective: m.Objective, Iters: m.Iters, Converged: m.Converged,
+		Version: wireVersion,
+	}
+	if m.Norm != nil {
+		_, cols := m.V.Dims()
+		if err := m.Norm.Validate(cols); err != nil {
+			return err
+		}
+		wire.NormMins, wire.NormMaxs = m.Norm.Mins, m.Norm.Maxs
 	}
 	return gob.NewEncoder(w).Encode(&wire)
 }
@@ -94,6 +113,14 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, err
 		}
 	}
+	var norm *Norm
+	if len(wire.NormMins) > 0 || len(wire.NormMaxs) > 0 {
+		norm = &Norm{Mins: wire.NormMins, Maxs: wire.NormMaxs}
+		_, cols := v.Dims()
+		if err := norm.Validate(cols); err != nil {
+			return nil, err
+		}
+	}
 	cw := wire.Config
 	return &Model{
 		Method: wire.Method,
@@ -103,7 +130,7 @@ func Load(r io.Reader) (*Model, error) {
 			KMeansRestarts: cw.KMeansRestarts, LearningRate: cw.LearningRate,
 			Eps: cw.Eps, Updater: cw.Updater, LandmarkSource: cw.LandmarkSource,
 		},
-		L: wire.L, U: u, V: v, C: c,
+		L: wire.L, U: u, V: v, C: c, Norm: norm,
 		Objective: wire.Objective, Iters: wire.Iters, Converged: wire.Converged,
 	}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
 
@@ -94,6 +95,113 @@ func TestSaveUnfittedFails(t *testing.T) {
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err == nil {
 		t.Fatal("expected error saving an unfitted model")
+	}
+}
+
+// modelWireV1 replicates the wire image written before wire version 2 (no
+// Version field, no normalization stats). Gob matches struct fields by name,
+// so encoding it reproduces a v1 .smfl stream bit-for-bit in the ways that
+// matter to the decoder.
+type modelWireV1 struct {
+	Method    Method
+	Config    configWire
+	L         int
+	U, V, C   []byte
+	Objective []float64
+	Iters     int
+	Converged bool
+}
+
+func TestLoadV1WireBackwardCompat(t *testing.T) {
+	x, omega, l := testProblem(t, 110, 83)
+	orig, err := Fit(x, omega, l, SMFL, quickCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := orig.U.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := orig.V.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := orig.C.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := orig.Config
+	v1 := modelWireV1{
+		Method: orig.Method,
+		Config: configWire{
+			K: cfg.K, Lambda: cfg.Lambda, P: cfg.P, MaxIter: cfg.MaxIter,
+			Tol: cfg.Tol, Seed: cfg.Seed, KMeansMaxIter: cfg.KMeansMaxIter,
+			KMeansRestarts: cfg.KMeansRestarts, LearningRate: cfg.LearningRate,
+			Eps: cfg.Eps, Updater: cfg.Updater, LandmarkSource: cfg.LandmarkSource,
+		},
+		L: orig.L, U: u, V: v, C: c,
+		Objective: orig.Objective, Iters: orig.Iters, Converged: orig.Converged,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("v1 wire no longer loads: %v", err)
+	}
+	if !mat.EqualApprox(got.U, orig.U, 0) || !mat.EqualApprox(got.V, orig.V, 0) || !mat.EqualApprox(got.C, orig.C, 0) {
+		t.Fatal("v1 factors corrupted")
+	}
+	if got.Method != orig.Method || got.L != orig.L || got.Config.K != orig.Config.K {
+		t.Fatal("v1 metadata corrupted")
+	}
+	if got.Norm != nil {
+		t.Fatal("v1 file must load with nil Norm")
+	}
+}
+
+func TestSaveLoadNormRoundTrip(t *testing.T) {
+	x, omega, l := testProblem(t, 100, 84)
+	orig, err := Fit(x, omega, l, SMFL, quickCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cols := orig.V.Dims()
+	mins := make([]float64, cols)
+	maxs := make([]float64, cols)
+	for j := range mins {
+		mins[j] = float64(j) - 3
+		maxs[j] = float64(j) + 5
+	}
+	orig.Norm = &Norm{Mins: mins, Maxs: maxs}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Norm == nil {
+		t.Fatal("norm stats lost")
+	}
+	for j := range mins {
+		if got.Norm.Mins[j] != mins[j] || got.Norm.Maxs[j] != maxs[j] {
+			t.Fatalf("norm column %d changed: %v/%v", j, got.Norm.Mins[j], got.Norm.Maxs[j])
+		}
+	}
+	// Saving malformed stats must fail loudly rather than emit a poisoned file.
+	orig.Norm = &Norm{Mins: []float64{0}, Maxs: []float64{1}}
+	if err := orig.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected norm width error on Save")
+	}
+	maxsBad := make([]float64, cols)
+	copy(maxsBad, mins)
+	maxsBad[0] = mins[0] - 1
+	orig.Norm = &Norm{Mins: mins, Maxs: maxsBad}
+	if err := orig.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected max<min error on Save")
 	}
 }
 

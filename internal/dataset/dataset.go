@@ -68,6 +68,27 @@ type Normalizer struct {
 	Mins, Maxs []float64
 }
 
+// NewNormalizer rehydrates a Normalizer from previously fitted stats (e.g.
+// the ones a served model carries in core.Model.Norm), validating that they
+// are finite, equal-length, and ordered.
+func NewNormalizer(mins, maxs []float64) (*Normalizer, error) {
+	if len(mins) != len(maxs) {
+		return nil, fmt.Errorf("dataset: %d mins for %d maxs", len(mins), len(maxs))
+	}
+	if len(mins) == 0 {
+		return nil, errors.New("dataset: Normalizer needs at least one column")
+	}
+	for j := range mins {
+		if math.IsNaN(mins[j]) || math.IsInf(mins[j], 0) || math.IsNaN(maxs[j]) || math.IsInf(maxs[j], 0) {
+			return nil, fmt.Errorf("dataset: non-finite normalization stat at column %d", j)
+		}
+		if maxs[j] < mins[j] {
+			return nil, fmt.Errorf("dataset: column %d max %v < min %v", j, maxs[j], mins[j])
+		}
+	}
+	return &Normalizer{Mins: mins, Maxs: maxs}, nil
+}
+
 // FitNormalizer computes per-column min/max over observed entries only.
 // A nil mask means all entries are observed.
 func FitNormalizer(x *mat.Dense, mask *mat.Mask) (*Normalizer, error) {

@@ -138,3 +138,30 @@ func TestFillColumnMeansAllMissing(t *testing.T) {
 		t.Fatal("expected error for all-missing column")
 	}
 }
+
+func TestNewNormalizer(t *testing.T) {
+	nz, err := NewNormalizer([]float64{0, 10}, []float64{1, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.FromRows([][]float64{{0.5, 15}})
+	nz.Apply(x)
+	if x.At(0, 0) != 0.5 || x.At(0, 1) != 0.5 {
+		t.Fatalf("apply gave %v", x)
+	}
+	nz.Invert(x)
+	if x.At(0, 0) != 0.5 || x.At(0, 1) != 15 {
+		t.Fatalf("invert gave %v", x)
+	}
+	for _, tc := range []struct{ mins, maxs []float64 }{
+		{[]float64{0}, []float64{1, 2}},        // length mismatch
+		{nil, nil},                             // empty
+		{[]float64{2}, []float64{1}},           // max < min
+		{[]float64{math.NaN()}, []float64{1}},  // non-finite min
+		{[]float64{0}, []float64{math.Inf(1)}}, // non-finite max
+	} {
+		if _, err := NewNormalizer(tc.mins, tc.maxs); err == nil {
+			t.Fatalf("NewNormalizer(%v, %v) accepted", tc.mins, tc.maxs)
+		}
+	}
+}

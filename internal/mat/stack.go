@@ -1,0 +1,56 @@
+package mat
+
+import "fmt"
+
+// VStack returns the vertical concatenation of the given blocks. All blocks
+// must share a column count; zero-row blocks are allowed. The serving layer
+// uses this to coalesce per-request fold-in rows into one batched matrix.
+func VStack(blocks ...*Dense) *Dense {
+	if len(blocks) == 0 {
+		return NewDense(0, 0)
+	}
+	cols := blocks[0].cols
+	rows := 0
+	for i, b := range blocks {
+		if b.cols != cols {
+			panic(fmt.Sprintf("mat: VStack block %d has %d columns, want %d", i, b.cols, cols))
+		}
+		rows += b.rows
+	}
+	out := NewDense(rows, cols)
+	off := 0
+	for _, b := range blocks {
+		copy(out.data[off:off+len(b.data)], b.data)
+		off += len(b.data)
+	}
+	return out
+}
+
+// VStackMasks returns the vertical concatenation of the given masks, the
+// observation-mask counterpart of VStack.
+func VStackMasks(masks ...*Mask) *Mask {
+	if len(masks) == 0 {
+		return NewMask(0, 0)
+	}
+	cols := masks[0].cols
+	rows := 0
+	for i, m := range masks {
+		if m.cols != cols {
+			panic(fmt.Sprintf("mat: VStackMasks mask %d has %d columns, want %d", i, m.cols, cols))
+		}
+		rows += m.rows
+	}
+	out := NewMask(rows, cols)
+	off := 0
+	for _, m := range masks {
+		for i := 0; i < m.rows; i++ {
+			for j := 0; j < cols; j++ {
+				if m.Observed(i, j) {
+					out.Observe(off+i, j)
+				}
+			}
+		}
+		off += m.rows
+	}
+	return out
+}

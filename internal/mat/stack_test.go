@@ -1,0 +1,54 @@
+package mat
+
+import "testing"
+
+func TestVStack(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}})
+	c := NewDense(0, 2)
+	got := VStack(a, b, c)
+	want := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("VStack = %v", got)
+	}
+	if r, cc := VStack().Dims(); r != 0 || cc != 0 {
+		t.Fatal("empty VStack not 0x0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected column-mismatch panic")
+		}
+	}()
+	VStack(a, NewDense(1, 3))
+}
+
+func TestVStackMasks(t *testing.T) {
+	a := NewMask(2, 3)
+	a.Observe(0, 1)
+	a.Observe(1, 2)
+	b := FullMask(1, 3)
+	got := VStackMasks(a, b)
+	if r, c := got.Dims(); r != 3 || c != 3 {
+		t.Fatalf("shape %dx%d", r, c)
+	}
+	for _, tc := range []struct {
+		i, j int
+		want bool
+	}{
+		{0, 0, false}, {0, 1, true}, {1, 2, true}, {1, 0, false},
+		{2, 0, true}, {2, 1, true}, {2, 2, true},
+	} {
+		if got.Observed(tc.i, tc.j) != tc.want {
+			t.Fatalf("bit (%d,%d) = %v, want %v", tc.i, tc.j, !tc.want, tc.want)
+		}
+	}
+	if got.Count() != 5 {
+		t.Fatalf("count %d", got.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected column-mismatch panic")
+		}
+	}()
+	VStackMasks(a, NewMask(1, 4))
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Batching errors surfaced to handlers.
+var (
+	// ErrClosed is returned by Submit after the batcher began draining; the
+	// caller should treat the model as gone (503).
+	ErrClosed = errors.New("serve: model batcher closed")
+	// ErrOverloaded is returned when the pending-request queue is full —
+	// bounded backpressure instead of unbounded memory growth (429).
+	ErrOverloaded = errors.New("serve: model queue full")
+)
+
+// foldRequest is one caller's rows waiting for a coalesced FoldIn.
+type foldRequest struct {
+	rows *mat.Dense // normalized units, validated by the handler
+	mask *mat.Mask  // non-nil, same shape as rows
+	done chan foldResult
+}
+
+type foldResult struct {
+	completed *mat.Dense // this caller's rows, hidden cells reconstructed
+	coeff     *mat.Dense // this caller's fold-in coefficient block
+	batchRows int        // total rows in the FoldIn call that served it
+	err       error
+}
+
+// batcher coalesces concurrent fold-in requests against one model into
+// batched FoldIn calls: requests are collected for up to a window (or until
+// maxRows accumulate) and solved as a single stacked matrix, amortizing the
+// masked-matmul cost across callers. The model is immutable (see core.Model),
+// so the single flush goroutine is the only coordination needed.
+type batcher struct {
+	model   *core.Model
+	window  time.Duration
+	maxRows int
+	iters   int
+	metrics *Metrics
+
+	mu     sync.RWMutex // guards closed vs. sends on in
+	closed bool
+	in     chan *foldRequest
+	wg     sync.WaitGroup
+}
+
+func newBatcher(model *core.Model, cfg Config, metrics *Metrics) *batcher {
+	b := &batcher{
+		model:   model,
+		window:  cfg.Window,
+		maxRows: cfg.MaxBatchRows,
+		iters:   cfg.FoldInIters,
+		metrics: metrics,
+		in:      make(chan *foldRequest, cfg.QueueDepth),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Submit enqueues rows for the next coalesced FoldIn and blocks until the
+// batch containing them is solved (or ctx is done). rows/mask must not be
+// mutated afterwards; the result matrices are freshly allocated.
+func (b *batcher) Submit(ctx context.Context, rows *mat.Dense, mask *mat.Mask) (foldResult, error) {
+	req := &foldRequest{rows: rows, mask: mask, done: make(chan foldResult, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return foldResult{}, ErrClosed
+	}
+	select {
+	case b.in <- req:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		return foldResult{}, ErrOverloaded
+	}
+	select {
+	case res := <-req.done:
+		return res, res.err
+	case <-ctx.Done():
+		return foldResult{}, ctx.Err()
+	}
+}
+
+// Close stops accepting new requests, drains everything already queued
+// through final flushes, and waits for the flush goroutine to exit.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.in)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+func (b *batcher) run() {
+	defer b.wg.Done()
+	for {
+		req, ok := <-b.in
+		if !ok {
+			return
+		}
+		b.flush(b.collect(req))
+	}
+}
+
+// collect gathers requests behind first until the window elapses, maxRows
+// accumulate, or the input channel closes (drain).
+func (b *batcher) collect(first *foldRequest) []*foldRequest {
+	batch := []*foldRequest{first}
+	nrows := first.rows.Rows()
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for nrows < b.maxRows {
+		select {
+		case req, ok := <-b.in:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+			nrows += req.rows.Rows()
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush solves one stacked FoldIn for the whole batch and scatters each
+// caller's slice of the result back through its done channel.
+func (b *batcher) flush(batch []*foldRequest) {
+	blocks := make([]*mat.Dense, len(batch))
+	masks := make([]*mat.Mask, len(batch))
+	total := 0
+	for i, req := range batch {
+		blocks[i] = req.rows
+		masks[i] = req.mask
+		total += req.rows.Rows()
+	}
+	if b.metrics != nil {
+		b.metrics.ObserveBatch(total)
+	}
+	stacked := mat.VStack(blocks...)
+	mask := mat.VStackMasks(masks...)
+	u, err := b.model.FoldIn(stacked, mask, b.iters)
+	if err != nil {
+		for _, req := range batch {
+			req.done <- foldResult{err: err, batchRows: total}
+		}
+		return
+	}
+	pred := mat.Mul(nil, u, b.model.V)
+	completed := mask.Recover(stacked, pred)
+	_, k := u.Dims()
+	_, cols := completed.Dims()
+	off := 0
+	for _, req := range batch {
+		r := req.rows.Rows()
+		req.done <- foldResult{
+			completed: completed.Slice(off, off+r, 0, cols),
+			coeff:     u.Slice(off, off+r, 0, k),
+			batchRows: total,
+		}
+		off += r
+	}
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// smallModel fits a tiny SMFL model for batcher/registry unit tests and
+// returns it with the normalized table it was trained on.
+func smallModel(t testing.TB) (*core.Model, *mat.Dense) {
+	t.Helper()
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "unit", N: 120, M: 6, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 3, Noise: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Fit(res.Data.X, nil, 2, core.SMFL, core.Config{K: 4, MaxIter: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, res.Data.X
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	model, x := smallModel(t)
+	b := newBatcher(model, Config{Window: 50 * time.Millisecond}.withDefaults(), NewMetrics())
+	defer b.Close()
+	// Enqueue on the buffered channel directly so every request is pending
+	// before the window can close — deterministic, unlike goroutine timing.
+	const n = 16
+	reqs := make([]*foldRequest, n)
+	for i := range reqs {
+		reqs[i] = &foldRequest{rows: x.Slice(i, i+1, 0, 6), mask: mat.FullMask(1, 6), done: make(chan foldResult, 1)}
+		b.in <- reqs[i]
+	}
+	for i, req := range reqs {
+		res := <-req.done
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		if res.batchRows != n {
+			t.Fatalf("request %d served in a batch of %d rows, want %d", i, res.batchRows, n)
+		}
+		if r, c := res.completed.Dims(); r != 1 || c != 6 {
+			t.Fatalf("request %d completed shape %dx%d", i, r, c)
+		}
+		if r, c := res.coeff.Dims(); r != 1 || c != 4 {
+			t.Fatalf("request %d coeff shape %dx%d", i, r, c)
+		}
+		// Each caller's slice must match its own row's reconstruction:
+		// observed cells are recovered verbatim.
+		for j := 0; j < 6; j++ {
+			if res.completed.At(0, j) != x.At(i, j) {
+				t.Fatalf("request %d cell %d = %v, want %v", i, j, res.completed.At(0, j), x.At(i, j))
+			}
+		}
+	}
+}
+
+func TestBatcherFlushesAtMaxRows(t *testing.T) {
+	model, x := smallModel(t)
+	// A very long window: only the maxRows threshold can flush in time.
+	b := newBatcher(model, Config{Window: time.Hour, MaxBatchRows: 4}.withDefaults(), nil)
+	defer b.Close()
+	var wg sync.WaitGroup
+	done := make(chan foldResult, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), x.Slice(i, i+1, 0, 6), mat.FullMask(1, 6))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			done <- res
+		}(i)
+	}
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("maxRows flush never fired")
+	}
+	close(done)
+	for res := range done {
+		if res.batchRows != 4 {
+			t.Fatalf("batch of %d rows, want 4", res.batchRows)
+		}
+	}
+}
+
+func TestBatcherPropagatesFoldInError(t *testing.T) {
+	model, _ := smallModel(t)
+	b := newBatcher(model, Config{Window: time.Millisecond}.withDefaults(), nil)
+	defer b.Close()
+	// Wrong column count reaches FoldIn (handlers validate, the batcher
+	// itself must still fail cleanly) and the error fans back out.
+	bad := mat.NewDense(1, 5)
+	if _, err := b.Submit(context.Background(), bad, mat.FullMask(1, 5)); err == nil {
+		t.Fatal("expected FoldIn shape error")
+	}
+}
+
+func TestBatcherCloseDrainsAndRejects(t *testing.T) {
+	model, x := smallModel(t)
+	b := newBatcher(model, Config{Window: 20 * time.Millisecond}.withDefaults(), nil)
+	// Queue a wave on the buffered channel, then Close: every queued request
+	// must be flushed (drained), not dropped.
+	reqs := make([]*foldRequest, 8)
+	for i := range reqs {
+		reqs[i] = &foldRequest{rows: x.Slice(i, i+1, 0, 6), mask: mat.FullMask(1, 6), done: make(chan foldResult, 1)}
+		b.in <- reqs[i]
+	}
+	b.Close()
+	for i, req := range reqs {
+		select {
+		case res := <-req.done:
+			if res.err != nil {
+				t.Fatalf("request %d dropped during drain: %v", i, res.err)
+			}
+		default:
+			t.Fatalf("request %d never answered after Close", i)
+		}
+	}
+	if _, err := b.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestBatcherContextCancel(t *testing.T) {
+	model, x := smallModel(t)
+	b := newBatcher(model, Config{Window: 200 * time.Millisecond}.withDefaults(), nil)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit: %v", err)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	model, _ := smallModel(t)
+	reg := NewRegistry(Config{Window: time.Millisecond}, nil)
+	defer reg.Close()
+
+	if _, err := reg.Register("", model, ""); err == nil {
+		t.Fatal("expected empty-name error")
+	}
+	if _, err := reg.Register("bad", &core.Model{}, ""); err == nil {
+		t.Fatal("expected unfitted-model error")
+	}
+	first, err := reg.Register("m", model, "a.smfl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := reg.Get("m"); !ok || e != first {
+		t.Fatal("Get did not return the registered entry")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+	// Hot swap replaces the entry pointer and drains the old batcher.
+	second, err := reg.Register("m", model, "b.smfl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := reg.Get("m"); e != second || e.Path != "b.smfl" {
+		t.Fatal("hot swap did not install the new entry")
+	}
+	if _, err := first.batcher.Submit(context.Background(), mat.NewDense(1, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("old batcher still accepting after swap: %v", err)
+	}
+	if !reg.Remove("m") || reg.Remove("m") {
+		t.Fatal("Remove bookkeeping wrong")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("Len after remove = %d", reg.Len())
+	}
+}
+
+func TestRegistryNormValidation(t *testing.T) {
+	model, _ := smallModel(t)
+	model.Norm = &core.Norm{Mins: []float64{0}, Maxs: []float64{1}} // wrong width
+	reg := NewRegistry(Config{}, nil)
+	defer reg.Close()
+	if _, err := reg.Register("m", model, ""); err == nil {
+		t.Fatal("expected norm width error")
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.observe(v)
+	}
+	if h.counts[0] != 2 || h.counts[1] != 1 || h.counts[2] != 1 {
+		t.Fatalf("bucket counts %v", h.counts)
+	}
+	if got := h.mean(); got != 26.625 {
+		t.Fatalf("mean %v", got)
+	}
+
+	m := NewMetrics()
+	m.BeginRequest()
+	m.BeginRequest()
+	if m.Inflight() != 2 {
+		t.Fatal("inflight not tracked")
+	}
+	m.EndRequest("impute", 2*time.Millisecond, false)
+	m.EndRequest("impute", 3*time.Millisecond, true)
+	if m.Inflight() != 0 {
+		t.Fatal("inflight not released")
+	}
+	m.ObserveBatch(8)
+	m.ObserveBatch(2)
+	snap := m.Snapshot()
+	ep := snap.Endpoints["impute"]
+	if ep.Count != 2 || ep.Errors != 1 {
+		t.Fatalf("endpoint snapshot %+v", ep)
+	}
+	if snap.MeanBatchSize != 5 || snap.RowsTotal != 10 {
+		t.Fatalf("batch stats %+v", snap)
+	}
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (milliseconds) of the request-latency
+// histograms; the last implicit bucket is +Inf.
+var latencyBuckets = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// batchBuckets are the upper bounds (rows) of the batch-size histogram.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// histogram is a fixed-bucket counter; not goroutine-safe on its own, callers
+// hold the Metrics mutex.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+func (h *histogram) mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// HistogramSnapshot is the JSON image of a histogram: Counts[i] holds the
+// observations ≤ Bounds[i], the final entry the overflow.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Mean   float64   `json:"mean"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	counts := make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	return HistogramSnapshot{Bounds: h.bounds, Counts: counts, Count: h.n, Mean: h.mean()}
+}
+
+type endpointStats struct {
+	count, errors uint64
+	latency       *histogram
+}
+
+// Metrics aggregates server-wide counters: per-endpoint request/error counts
+// and latency histograms, the fold-in batch-size distribution, and rows/sec
+// throughput. All methods are goroutine-safe.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	inflight  int64
+	endpoints map[string]*endpointStats
+	batch     *histogram
+	rows      uint64
+}
+
+// NewMetrics returns an empty Metrics whose rows/sec clock starts now.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointStats),
+		batch:     newHistogram(batchBuckets),
+	}
+}
+
+// BeginRequest marks a request in flight on the named endpoint.
+func (m *Metrics) BeginRequest() {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+}
+
+// EndRequest records a finished request: latency bucketing plus error count,
+// and releases the in-flight slot taken by BeginRequest.
+func (m *Metrics) EndRequest(endpoint string, d time.Duration, isError bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight--
+	ep := m.endpoints[endpoint]
+	if ep == nil {
+		ep = &endpointStats{latency: newHistogram(latencyBuckets)}
+		m.endpoints[endpoint] = ep
+	}
+	ep.count++
+	if isError {
+		ep.errors++
+	}
+	ep.latency.observe(float64(d) / float64(time.Millisecond))
+}
+
+// Inflight returns the number of requests currently being handled.
+func (m *Metrics) Inflight() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inflight
+}
+
+// ObserveBatch records one coalesced FoldIn flush of the given row count.
+func (m *Metrics) ObserveBatch(rows int) {
+	m.mu.Lock()
+	m.batch.observe(float64(rows))
+	m.rows += uint64(rows)
+	m.mu.Unlock()
+}
+
+// EndpointSnapshot is the JSON image of one endpoint's counters.
+type EndpointSnapshot struct {
+	Count     uint64            `json:"count"`
+	Errors    uint64            `json:"errors"`
+	LatencyMS HistogramSnapshot `json:"latency_ms"`
+}
+
+// Snapshot is the JSON document served at /metrics.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Inflight      int64                       `json:"inflight"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Batch         HistogramSnapshot           `json:"batch_rows"`
+	MeanBatchSize float64                     `json:"mean_batch_size"`
+	RowsTotal     uint64                      `json:"rows_total"`
+	RowsPerSecond float64                     `json:"rows_per_second"`
+}
+
+// Snapshot returns a consistent copy of all counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eps := make(map[string]EndpointSnapshot, len(m.endpoints))
+	for name, ep := range m.endpoints {
+		eps[name] = EndpointSnapshot{Count: ep.count, Errors: ep.errors, LatencyMS: ep.latency.snapshot()}
+	}
+	elapsed := time.Since(m.start).Seconds()
+	rps := 0.0
+	if elapsed > 0 {
+		rps = float64(m.rows) / elapsed
+	}
+	if math.IsNaN(rps) || math.IsInf(rps, 0) {
+		rps = 0
+	}
+	return Snapshot{
+		UptimeSeconds: elapsed,
+		Inflight:      m.inflight,
+		Endpoints:     eps,
+		Batch:         m.batch.snapshot(),
+		MeanBatchSize: m.batch.mean(),
+		RowsTotal:     m.rows,
+		RowsPerSecond: rps,
+	}
+}

@@ -1,0 +1,168 @@
+// Package serve turns fitted SMFL models into an online imputation service:
+// a hot-reloadable model registry, a micro-batching fold-in queue per model,
+// and the HTTP layer of cmd/smfld. It is standard-library only, like the
+// rest of the repository.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+)
+
+// Config tunes the serving layer. Zero values take the defaults below.
+type Config struct {
+	Window       time.Duration // batch coalescing window (default 2ms)
+	MaxBatchRows int           // flush once this many rows are pending (default 256)
+	QueueDepth   int           // per-model pending-request cap (default 1024)
+	FoldInIters  int           // FoldIn iteration cap per batch (default 100)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.MaxBatchRows <= 0 {
+		c.MaxBatchRows = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.FoldInIters <= 0 {
+		c.FoldInIters = 100
+	}
+	return c
+}
+
+// Entry is one served model: the immutable fitted Model, its training
+// normalization (nil when the file predates wire v2), and the micro-batcher
+// that owns its FoldIn calls. Entries are replaced wholesale on hot reload,
+// never mutated.
+type Entry struct {
+	Name     string
+	Path     string
+	Model    *core.Model
+	Norm     *dataset.Normalizer
+	LoadedAt time.Time
+	batcher  *batcher
+}
+
+// Registry is the RWMutex-guarded name → Entry map behind the server. Reads
+// (every impute request) take the read lock only long enough to fetch the
+// entry pointer; loads and removals swap pointers and drain the displaced
+// batcher outside the lock.
+type Registry struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry returns an empty registry; metrics may be nil.
+func NewRegistry(cfg Config, metrics *Metrics) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), metrics: metrics, entries: make(map[string]*Entry)}
+}
+
+// Register installs (or hot-swaps) a fitted model under name. In-flight
+// requests against a replaced entry finish on the old model; the old batcher
+// is drained before Register returns.
+func (r *Registry) Register(name string, model *core.Model, path string) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty model name")
+	}
+	if model == nil || model.V == nil {
+		return nil, fmt.Errorf("serve: model %q is unfitted", name)
+	}
+	var norm *dataset.Normalizer
+	if model.Norm != nil {
+		_, cols := model.V.Dims()
+		if err := model.Norm.Validate(cols); err != nil {
+			return nil, fmt.Errorf("serve: model %q: %w", name, err)
+		}
+		var err error
+		if norm, err = dataset.NewNormalizer(model.Norm.Mins, model.Norm.Maxs); err != nil {
+			return nil, fmt.Errorf("serve: model %q: %w", name, err)
+		}
+	}
+	entry := &Entry{
+		Name:     name,
+		Path:     path,
+		Model:    model,
+		Norm:     norm,
+		LoadedAt: time.Now(),
+		batcher:  newBatcher(model, r.cfg, r.metrics),
+	}
+	r.mu.Lock()
+	old := r.entries[name]
+	r.entries[name] = entry
+	r.mu.Unlock()
+	if old != nil {
+		old.batcher.Close()
+	}
+	return entry, nil
+}
+
+// LoadFile reads a .smfl model file (wire v1 or v2) and registers it.
+func (r *Registry) LoadFile(name, path string) (*Entry, error) {
+	model, err := core.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %q from %s: %w", name, path, err)
+	}
+	return r.Register(name, model, path)
+}
+
+// Get returns the entry serving name, or false if it is not registered.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	return e, ok
+}
+
+// Remove unregisters name, draining its batcher. It reports whether the
+// model existed.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	delete(r.entries, name)
+	r.mu.Unlock()
+	if ok {
+		e.batcher.Close()
+	}
+	return ok
+}
+
+// Entries returns the current entries sorted by name.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Close drains every batcher; the registry is unusable afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	entries := r.entries
+	r.entries = make(map[string]*Entry)
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.batcher.Close()
+	}
+}

@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// fixture fits SMFL on the head of a synthetic table and saves it (with
+// normalization stats) to a temp .smfl file. It returns the file path, the
+// full table in original units, and the index where the held-out tail starts.
+func fixture(t testing.TB) (path string, orig *mat.Dense, tail int) {
+	t.Helper()
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "serve", N: 300, M: 6, L: 2,
+		Latents: 3, Bumps: 4, Clusters: 4, Noise: 0.02, Seed: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig = res.Data.X.Clone()
+	nz, err := res.Data.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := res.Data.X.Slice(0, 240, 0, 6)
+	model, err := core.Fit(train, nil, 2, core.SMFL, core.Config{K: 5, Lambda: 0.1, MaxIter: 200, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Norm = &core.Norm{Mins: nz.Mins, Maxs: nz.Maxs}
+	path = filepath.Join(t.TempDir(), "model.smfl")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, orig, 240
+}
+
+func postImpute(t *testing.T, client *http.Client, url string, req imputeRequest) (imputeResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out imputeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp
+}
+
+// TestServerEndToEnd is the acceptance test: ephemeral port, ≥32 concurrent
+// impute requests, denormalized values checked against the original units,
+// mean batch size > 1 on /metrics, and a shutdown that drains in-flight
+// requests.
+func TestServerEndToEnd(t *testing.T) {
+	path, orig, tail := fixture(t)
+	metrics := NewMetrics()
+	registry := NewRegistry(Config{Window: 20 * time.Millisecond, FoldInIters: 100}, metrics)
+	defer registry.Close()
+	if _, err := registry.LoadFile("air", path); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := &http.Server{Handler: NewServer(registry, metrics).Handler()}
+	served := make(chan error, 1)
+	go func() { served <- server.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Phase 1: 48 concurrent single-row requests, each hiding one non-SI
+	// cell of a held-out row.
+	const nreq = 48
+	_, cols := orig.Dims()
+	type outcome struct {
+		predErr float64 // |prediction − truth| on the hidden cell
+		baseErr float64 // |column-mean − truth| baseline on the same cell
+	}
+	outcomes := make([]outcome, nreq)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < nreq; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			row := tail + i%(orig.Rows()-tail)
+			hide := 2 + i%(cols-2)
+			cells := make([]*float64, cols)
+			for j := 0; j < cols; j++ {
+				if j == hide {
+					continue
+				}
+				v := orig.At(row, j)
+				cells[j] = &v
+			}
+			out, resp := postImpute(t, client, base+"/v1/models/air/impute", imputeRequest{Rows: [][]*float64{cells}})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if out.Units != "original" || out.Filled != 1 || len(out.Rows) != 1 {
+				t.Errorf("request %d: unexpected response %+v", i, out)
+				return
+			}
+			for j := 0; j < cols; j++ {
+				if j == hide {
+					continue
+				}
+				want := orig.At(row, j)
+				if math.Abs(out.Rows[0][j]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Errorf("request %d: observed cell %d = %v, want %v (denormalization broken)", i, j, out.Rows[0][j], want)
+				}
+			}
+			truth := orig.At(row, hide)
+			var mean float64
+			for r := 0; r < tail; r++ {
+				mean += orig.At(r, hide)
+			}
+			mean /= float64(tail)
+			outcomes[i] = outcome{predErr: math.Abs(out.Rows[0][hide] - truth), baseErr: math.Abs(mean - truth)}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	var predMAE, baseMAE float64
+	for _, o := range outcomes {
+		predMAE += o.predErr
+		baseMAE += o.baseErr
+	}
+	predMAE /= nreq
+	baseMAE /= nreq
+	if predMAE >= baseMAE {
+		t.Fatalf("served imputations MAE %v not better than column-mean baseline %v", predMAE, baseMAE)
+	}
+
+	// Metrics: the coalescing window must have produced multi-row batches.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.MeanBatchSize <= 1 {
+		t.Fatalf("mean batch size %v, want > 1 (micro-batching not coalescing)", snap.MeanBatchSize)
+	}
+	if snap.RowsTotal != nreq {
+		t.Fatalf("rows_total %d, want %d", snap.RowsTotal, nreq)
+	}
+	imp := snap.Endpoints["impute"]
+	if imp.Count != nreq || imp.Errors != 0 {
+		t.Fatalf("impute endpoint counters %+v", imp)
+	}
+	if snap.RowsPerSecond <= 0 {
+		t.Fatalf("rows_per_second %v", snap.RowsPerSecond)
+	}
+
+	// Phase 2: shutdown must drain in-flight requests. Launch a wave that
+	// parks inside the 20ms batch window, wait until every handler is in
+	// flight, then Shutdown and require all of them to succeed.
+	const drainReq = 8
+	codes := make(chan int, drainReq)
+	for i := 0; i < drainReq; i++ {
+		go func(i int) {
+			row := tail + i
+			cells := make([]*float64, cols)
+			for j := 0; j < cols; j++ {
+				v := orig.At(row, j)
+				cells[j] = &v
+			}
+			_, resp := postImpute(t, client, base+"/v1/models/air/impute", imputeRequest{Rows: [][]*float64{cells}})
+			codes <- resp.StatusCode
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for metrics.Inflight() < drainReq && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	for i := 0; i < drainReq; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("in-flight request dropped during shutdown: status %d", code)
+		}
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+func TestServerFullyObservedRoundTrip(t *testing.T) {
+	path, orig, tail := fixture(t)
+	metrics := NewMetrics()
+	registry := NewRegistry(Config{Window: time.Millisecond}, metrics)
+	defer registry.Close()
+	if _, err := registry.LoadFile("air", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(registry, metrics).Handler())
+	defer ts.Close()
+
+	_, cols := orig.Dims()
+	cells := make([]*float64, cols)
+	for j := 0; j < cols; j++ {
+		v := orig.At(tail, j)
+		cells[j] = &v
+	}
+	out, resp := postImpute(t, ts.Client(), ts.URL+"/v1/models/air/impute", imputeRequest{Rows: [][]*float64{cells}, Coefficients: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Filled != 0 {
+		t.Fatalf("filled %d on a fully observed row", out.Filled)
+	}
+	for j := 0; j < cols; j++ {
+		want := orig.At(tail, j)
+		if math.Abs(out.Rows[0][j]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("cell %d = %v, want %v", j, out.Rows[0][j], want)
+		}
+	}
+	if len(out.Coefficients) != 1 || len(out.Coefficients[0]) != 5 {
+		t.Fatalf("coefficients shape %v", out.Coefficients)
+	}
+}
+
+func TestServerValidationAndErrors(t *testing.T) {
+	path, _, _ := fixture(t)
+	metrics := NewMetrics()
+	registry := NewRegistry(Config{Window: time.Millisecond}, metrics)
+	defer registry.Close()
+	if _, err := registry.LoadFile("air", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(registry, metrics).Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(url, body string) int {
+		resp, err := client.Post(url, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(ts.URL+"/v1/models/nope/impute", `{"rows":[[1,2,3,4,5,6]]}`); code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", code)
+	}
+	if code := post(ts.URL+"/v1/models/air/impute", `{"rows":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty rows: status %d", code)
+	}
+	if code := post(ts.URL+"/v1/models/air/impute", `{"rows":[[1,2,3]]}`); code != http.StatusBadRequest {
+		t.Fatalf("short row: status %d", code)
+	}
+	if code := post(ts.URL+"/v1/models/air/impute", `{"rows":[[null,null,null,null,null,null]]}`); code != http.StatusBadRequest {
+		t.Fatalf("all-null rows: status %d", code)
+	}
+	if code := post(ts.URL+"/v1/models/air/impute", `not json`); code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", code)
+	}
+	// A value far below the training minimum maps to a negative normalized
+	// cell, which FoldIn cannot accept.
+	if code := post(ts.URL+"/v1/models/air/impute", `{"rows":[[-1e12,1,1,1,1,1]]}`); code != http.StatusBadRequest {
+		t.Fatalf("below-min value: status %d", code)
+	}
+	// Error counters made it into /metrics.
+	snap := metrics.Snapshot()
+	if snap.Endpoints["impute"].Errors == 0 {
+		t.Fatal("impute errors not counted")
+	}
+}
+
+func TestServerAdminLoadReloadRemove(t *testing.T) {
+	path, orig, tail := fixture(t)
+	metrics := NewMetrics()
+	registry := NewRegistry(Config{Window: time.Millisecond}, metrics)
+	defer registry.Close()
+	if _, err := registry.LoadFile("air", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(registry, metrics).Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// healthz before and after.
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Models != 1 {
+		t.Fatalf("healthz %+v", health)
+	}
+
+	// Hot-load a second name from the same file, then reload the first.
+	for _, name := range []string{"fuel", "air"} {
+		body := fmt.Sprintf(`{"path":%q}`, path)
+		resp, err := client.Post(ts.URL+"/admin/models/"+name, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info modelInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || info.Name != name || !info.HasNorm || info.Method != "SMFL" {
+			t.Fatalf("admin load %s: status %d info %+v", name, resp.StatusCode, info)
+		}
+	}
+	resp, err = client.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []modelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Models) != 2 || list.Models[0].Name != "air" || list.Models[1].Name != "fuel" {
+		t.Fatalf("model list %+v", list.Models)
+	}
+
+	// The reloaded model still serves.
+	_, cols := orig.Dims()
+	cells := make([]*float64, cols)
+	for j := 0; j < cols; j++ {
+		v := orig.At(tail, j)
+		cells[j] = &v
+	}
+	if _, resp := postImpute(t, client, ts.URL+"/v1/models/fuel/impute", imputeRequest{Rows: [][]*float64{cells}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("impute after reload: status %d", resp.StatusCode)
+	}
+
+	// Loading a bogus path must fail without clobbering the old entry.
+	resp, err = client.Post(ts.URL+"/admin/models/air", "application/json", bytes.NewBufferString(`{"path":"/nonexistent.smfl"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bogus load: status %d", resp.StatusCode)
+	}
+	if _, ok := registry.Get("air"); !ok {
+		t.Fatal("failed reload removed the live model")
+	}
+
+	// Remove, then 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/admin/models/fuel", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if _, resp := postImpute(t, client, ts.URL+"/v1/models/fuel/impute", imputeRequest{Rows: [][]*float64{cells}}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("impute after delete: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Server is the HTTP front of the registry:
+//
+//	POST   /v1/models/{name}/impute   fold-in + complete rows (micro-batched)
+//	GET    /v1/models                 list registered models
+//	POST   /admin/models/{name}      load or hot-swap a model from a path
+//	DELETE /admin/models/{name}      unregister a model
+//	GET    /metrics                   counters, latency + batch histograms
+//	GET    /healthz                   liveness
+type Server struct {
+	registry *Registry
+	metrics  *Metrics
+	mux      *http.ServeMux
+}
+
+// NewServer wires the handlers onto a fresh mux. metrics must be the same
+// instance the registry's batchers report to.
+func NewServer(registry *Registry, metrics *Metrics) *Server {
+	s := &Server{registry: registry, metrics: metrics, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleListModels))
+	s.mux.HandleFunc("POST /v1/models/{name}/impute", s.instrument("impute", s.handleImpute))
+	s.mux.HandleFunc("POST /admin/models/{name}", s.instrument("admin_load", s.handleAdminLoad))
+	s.mux.HandleFunc("DELETE /admin/models/{name}", s.instrument("admin_remove", s.handleAdminRemove))
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.BeginRequest()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.EndRequest(name, time.Since(start), sw.code >= 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.registry.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// modelInfo is the public description of a registry entry.
+type modelInfo struct {
+	Name      string    `json:"name"`
+	Path      string    `json:"path,omitempty"`
+	Method    string    `json:"method"`
+	K         int       `json:"k"`
+	Columns   int       `json:"columns"`
+	SIColumns int       `json:"si_columns"`
+	HasNorm   bool      `json:"has_norm"`
+	Converged bool      `json:"converged"`
+	Iters     int       `json:"iters"`
+	LoadedAt  time.Time `json:"loaded_at"`
+}
+
+func describe(e *Entry) modelInfo {
+	k, cols := e.Model.V.Dims()
+	return modelInfo{
+		Name: e.Name, Path: e.Path, Method: e.Model.Method.String(),
+		K: k, Columns: cols, SIColumns: e.Model.L, HasNorm: e.Norm != nil,
+		Converged: e.Model.Converged, Iters: e.Model.Iters, LoadedAt: e.LoadedAt,
+	}
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	entries := s.registry.Entries()
+	infos := make([]modelInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = describe(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "path is required")
+		return
+	}
+	entry, err := s.registry.LoadFile(name, req.Path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, describe(entry))
+}
+
+func (s *Server) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.Remove(name) {
+		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+// imputeRequest carries rows in original units; null cells are the missing
+// values to impute (the JSON analogue of empty CSV cells in cmd/smfl).
+type imputeRequest struct {
+	Rows         [][]*float64 `json:"rows"`
+	Coefficients bool         `json:"coefficients"`
+}
+
+type imputeResponse struct {
+	Model        string      `json:"model"`
+	Rows         [][]float64 `json:"rows"`
+	Coefficients [][]float64 `json:"coefficients,omitempty"`
+	Filled       int         `json:"filled"`
+	BatchRows    int         `json:"batch_rows"`
+	Units        string      `json:"units"` // "original" or "normalized"
+}
+
+func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		return
+	}
+	var req imputeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rows, mask, err := buildRows(req.Rows, entry)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := entry.batcher.Submit(r.Context(), rows, mask)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "fold-in failed: %v", err)
+		return
+	}
+	units := "normalized"
+	if entry.Norm != nil {
+		entry.Norm.Invert(res.completed)
+		units = "original"
+	}
+	resp := imputeResponse{
+		Model:     name,
+		Rows:      toRows(res.completed),
+		Filled:    mask.CountHidden(),
+		BatchRows: res.batchRows,
+		Units:     units,
+	}
+	if req.Coefficients {
+		resp.Coefficients = toRows(res.coeff)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildRows converts JSON rows (nulls = missing) into the normalized dense
+// block and observation mask FoldIn expects, validating shape and range.
+func buildRows(in [][]*float64, entry *Entry) (*mat.Dense, *mat.Mask, error) {
+	if len(in) == 0 {
+		return nil, nil, errors.New("rows must be a non-empty array")
+	}
+	_, cols := entry.Model.V.Dims()
+	dense := mat.NewDense(len(in), cols)
+	mask := mat.NewMask(len(in), cols)
+	for i, row := range in {
+		if len(row) != cols {
+			return nil, nil, fmt.Errorf("row %d has %d values, model has %d columns", i, len(row), cols)
+		}
+		for j, cell := range row {
+			if cell == nil {
+				continue // missing: stays hidden, placeholder 0
+			}
+			dense.Set(i, j, *cell)
+			mask.Observe(i, j)
+		}
+	}
+	if mask.Count() == 0 {
+		return nil, nil, errors.New("rows have no observed cells")
+	}
+	if entry.Norm != nil {
+		entry.Norm.Apply(dense)
+	}
+	for i := 0; i < len(in); i++ {
+		for j := 0; j < cols; j++ {
+			if mask.Observed(i, j) && dense.At(i, j) < 0 {
+				return nil, nil, fmt.Errorf("row %d col %d is below the training minimum", i, j)
+			}
+		}
+	}
+	return dense, mask, nil
+}
+
+func toRows(m *mat.Dense) [][]float64 {
+	n, cols := m.Dims()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, cols)
+		copy(row, m.Row(i))
+		out[i] = row
+	}
+	return out
+}

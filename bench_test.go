@@ -69,7 +69,7 @@ func BenchmarkNeighborGraph(b *testing.B)          { benchExperiment(b, "ablatio
 // SMFL should be at least as fast per fit as SMF (fewer V columns updated)
 // despite its extra K-means step. ---
 
-func benchFit(b *testing.B, method core.Method, n int) {
+func benchFit(b *testing.B, method core.Method, n int, missRate float64) {
 	b.Helper()
 	res, err := dataset.Generate(dataset.Spec{
 		Name: "bench", N: n, M: 8, L: 2,
@@ -81,7 +81,7 @@ func benchFit(b *testing.B, method core.Method, n int) {
 	if _, err := res.Data.Normalize(); err != nil {
 		b.Fatal(err)
 	}
-	mask, err := dataset.InjectMissing(res.Data, dataset.MissingSpec{Rate: 0.1, Seed: 1})
+	mask, err := dataset.InjectMissing(res.Data, dataset.MissingSpec{Rate: missRate, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -94,9 +94,15 @@ func benchFit(b *testing.B, method core.Method, n int) {
 	}
 }
 
-func BenchmarkFitNMF(b *testing.B)  { benchFit(b, core.NMF, 600) }
-func BenchmarkFitSMF(b *testing.B)  { benchFit(b, core.SMF, 600) }
-func BenchmarkFitSMFL(b *testing.B) { benchFit(b, core.SMFL, 600) }
+func BenchmarkFitNMF(b *testing.B)  { benchFit(b, core.NMF, 600, 0.1) }
+func BenchmarkFitSMF(b *testing.B)  { benchFit(b, core.SMF, 600, 0.1) }
+func BenchmarkFitSMFL(b *testing.B) { benchFit(b, core.SMFL, 600, 0.1) }
+
+// The paper's high missing rates are where the fused masked kernels pay off:
+// only observed dot products are evaluated, so the per-iteration cost scales
+// with |Ω| instead of N·M.
+func BenchmarkFitSMFLMissing50(b *testing.B) { benchFit(b, core.SMFL, 600, 0.5) }
+func BenchmarkFitSMFLMissing90(b *testing.B) { benchFit(b, core.SMFL, 600, 0.9) }
 
 // --- Kernel micro-benchmarks. ---
 
@@ -109,6 +115,55 @@ func BenchmarkMatMul(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mat.Mul(dst, a, c)
 	}
+}
+
+// BenchmarkProjectMul measures the fused masked product R_Ω(UV) against the
+// dense-then-project alternative at a paper-typical 50% missing rate.
+func BenchmarkProjectMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	u := mat.RandomNormal(rng, 1000, 10, 0, 1)
+	v := mat.RandomNormal(rng, 10, 13, 0, 1)
+	mask := randomHalfMask(rng, 1000, 13)
+	dst := mat.NewDense(1000, 13)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mask.ProjectMul(dst, u, v)
+		}
+	})
+	b.Run("dense+project", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.Mul(dst, u, v)
+			mask.Project(dst, dst)
+		}
+	})
+}
+
+// BenchmarkMaskedFrob2Mul measures the fused objective evaluation (the kernel
+// that eliminated the third per-iteration matmul in Fit).
+func BenchmarkMaskedFrob2Mul(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	u := mat.RandomNormal(rng, 1000, 10, 0, 1)
+	v := mat.RandomNormal(rng, 10, 13, 0, 1)
+	x := mat.RandomNormal(rng, 1000, 13, 0, 1)
+	mask := randomHalfMask(rng, 1000, 13)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += mask.MaskedFrob2Mul(x, u, v)
+	}
+	_ = sink
+}
+
+func randomHalfMask(rng *rand.Rand, r, c int) *mat.Mask {
+	mask := mat.NewMask(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < 0.5 {
+				mask.Observe(i, j)
+			}
+		}
+	}
+	return mask
 }
 
 func BenchmarkMaskedProjection(b *testing.B) {

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/spatialmf/smfl/internal/core"
 	"github.com/spatialmf/smfl/internal/dataset"
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	threshold := fs.Float64("threshold", 6, "repair: outlier detection threshold")
 	saveModel := fs.String("savemodel", "", "impute: also save the fitted model here")
 	modelPath := fs.String("model", "", "foldin: fitted model written by -savemodel")
+	verbose := fs.Bool("v", false, "report wall-clock fit time and iteration count")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -86,9 +88,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		nz.Apply(ds.X)
+		start := time.Now()
 		xhat, model, err := core.Impute(ds.X, mask, ds.L, method, cfg)
 		if err != nil {
 			return err
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "smfl: fit took %s (%d iterations)\n", time.Since(start).Round(time.Millisecond), model.Iters)
 		}
 		nz.Invert(xhat)
 		ds.X = xhat
@@ -117,9 +123,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		repaired, model, err := core.Repair(ds.X, dirty, ds.L, method, cfg)
 		if err != nil {
 			return err
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "smfl: fit took %s (%d iterations)\n", time.Since(start).Round(time.Millisecond), model.Iters)
 		}
 		nz.Invert(repaired)
 		ds.X = repaired
@@ -140,9 +150,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// The table is complete here (ReadCSV rejects holes), so the MF
 		// clustering application reduces to k-means on the normalized rows;
 		// the MF fit is still reported so the user can judge the factorization.
+		start := time.Now()
 		model, err := core.Fit(ds.X, nil, ds.L, method, cfg)
 		if err != nil {
 			return err
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "smfl: fit took %s (%d iterations)\n", time.Since(start).Round(time.Millisecond), model.Iters)
 		}
 		res, err := kmeans.Run(ds.X, kmeans.Config{K: *k, Seed: *seed, Restarts: 3})
 		if err != nil {
@@ -174,9 +188,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// New rows arrive in original units; apply the training
 		// normalization, complete, and map back.
 		nz.Apply(ds.X)
+		start := time.Now()
 		completed, err := model.CompleteRows(ds.X, mask, *maxIter)
 		if err != nil {
 			return err
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "smfl: fold-in took %s\n", time.Since(start).Round(time.Millisecond))
 		}
 		nz.Invert(completed)
 		ds.X = completed

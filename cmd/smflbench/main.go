@@ -1,0 +1,208 @@
+// Command smflbench times the training and fold-in hot paths across the four
+// paper datasets and a sweep of missing rates, writing the results as JSON.
+// It is the repeatable harness behind the checked-in BENCH_fit.json snapshot:
+//
+//	smflbench -scale 0.05 -rates 0.1,0.5,0.9 -out BENCH_fit.json
+//
+// Times are medians over -runs repetitions of core.Fit (method SMFL unless
+// -method overrides) plus a batched FoldIn of -foldrows fresh rows, so one
+// file captures both halves of the serving story. The worker-pool width
+// (SMFL_WORKERS or GOMAXPROCS) is recorded alongside the numbers because the
+// pooled kernels make timings machine-dependent.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "smflbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Workers   int      `json:"workers"`
+	Scale     float64  `json:"scale"`
+	Method    string   `json:"method"`
+	K         int      `json:"k"`
+	MaxIter   int      `json:"maxiter"`
+	Runs      int      `json:"runs"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one dataset × missing-rate cell.
+type Result struct {
+	Dataset      string  `json:"dataset"`
+	Rows         int     `json:"rows"`
+	Cols         int     `json:"cols"`
+	MissingRate  float64 `json:"missing_rate"`
+	FitMillis    float64 `json:"fit_ms"`
+	FitIters     int     `json:"fit_iters"`
+	FoldInRows   int     `json:"foldin_rows"`
+	FoldInMicros float64 `json:"foldin_us_per_row"`
+}
+
+// run executes the sweep; factored out of main for tests.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("smflbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	names := fs.String("datasets", strings.Join(dataset.PaperDatasets, ","), "comma-separated dataset names")
+	rates := fs.String("rates", "0.1,0.5,0.9", "comma-separated missing rates in [0,1)")
+	scale := fs.Float64("scale", 0.05, "dataset size relative to the paper's")
+	methodName := fs.String("method", "SMFL", "NMF | SMF | SMFL")
+	k := fs.Int("k", 6, "latent features / landmarks")
+	maxIter := fs.Int("maxiter", 100, "iteration cap per fit")
+	runs := fs.Int("runs", 3, "repetitions per cell (median reported)")
+	foldRows := fs.Int("foldrows", 32, "rows folded in per cell (0 disables)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	method, err := parseMethod(*methodName)
+	if err != nil {
+		return err
+	}
+	if *runs < 1 {
+		return errors.New("-runs must be at least 1")
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Workers:   mat.Workers(),
+		Scale:     *scale,
+		Method:    strings.ToUpper(*methodName),
+		K:         *k,
+		MaxIter:   *maxIter,
+		Runs:      *runs,
+	}
+	for _, name := range splitList(*names) {
+		for _, rateStr := range splitList(*rates) {
+			rate, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad rate %q: %v", rateStr, err)
+			}
+			res, err := benchCell(name, *scale, rate, method, *k, *maxIter, *runs, *foldRows, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "smflbench: %-9s rate=%.2f fit=%.1fms iters=%d\n",
+				name, rate, res.FitMillis, res.FitIters)
+			rep.Results = append(rep.Results, res)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+func benchCell(name string, scale, rate float64, method core.Method, k, maxIter, runs, foldRows int, seed int64) (Result, error) {
+	res, err := dataset.ByName(name, scale, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		return Result{}, err
+	}
+	mask, err := dataset.InjectMissing(res.Data, dataset.MissingSpec{Rate: rate, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	n, m := res.Data.Dims()
+	cfg := core.Config{K: k, Lambda: 0.1, P: 3, MaxIter: maxIter, Tol: 1e-9, Seed: seed}
+
+	var model *core.Model
+	fitTimes := make([]float64, runs)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		model, err = core.Fit(res.Data.X, mask, res.Data.L, method, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		fitTimes[r] = float64(time.Since(start).Microseconds()) / 1e3
+	}
+
+	out := Result{
+		Dataset:     name,
+		Rows:        n,
+		Cols:        m,
+		MissingRate: rate,
+		FitMillis:   median(fitTimes),
+		FitIters:    model.Iters,
+	}
+	if foldRows > 0 {
+		if foldRows > n {
+			foldRows = n
+		}
+		fresh := res.Data.X.Slice(0, foldRows, 0, m)
+		foldTimes := make([]float64, runs)
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			if _, err := model.FoldIn(fresh, nil, 50); err != nil {
+				return Result{}, err
+			}
+			foldTimes[r] = float64(time.Since(start).Microseconds()) / float64(foldRows)
+		}
+		out.FoldInRows = foldRows
+		out.FoldInMicros = median(foldTimes)
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch strings.ToUpper(s) {
+	case "NMF":
+		return core.NMF, nil
+	case "SMF":
+		return core.SMF, nil
+	case "SMFL":
+		return core.SMFL, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-datasets", "Economic", "-rates", "0.5", "-scale", "0.01",
+		"-maxiter", "10", "-runs", "1", "-foldrows", "4", "-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Dataset != "Economic" || r.MissingRate != 0.5 {
+		t.Fatalf("unexpected cell %+v", r)
+	}
+	if r.FitMillis <= 0 || r.FitIters <= 0 {
+		t.Fatalf("fit not timed: %+v", r)
+	}
+	if r.FoldInRows != 4 || r.FoldInMicros <= 0 {
+		t.Fatalf("fold-in not timed: %+v", r)
+	}
+	if rep.Workers < 1 {
+		t.Fatalf("workers not recorded: %+v", rep)
+	}
+}
+
+func TestRunStdoutAndBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-datasets", "Economic", "-rates", "0.1", "-scale", "0.01",
+		"-maxiter", "5", "-runs", "1", "-foldrows", "0",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run to stdout: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if rep.Results[0].FoldInRows != 0 {
+		t.Fatalf("-foldrows 0 should disable fold-in: %+v", rep.Results[0])
+	}
+
+	if err := run([]string{"-rates", "nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -rates accepted")
+	}
+	if err := run([]string{"-method", "bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -method accepted")
+	}
+	if err := run([]string{"-datasets", "Nope", "-rates", "0.1", "-scale", "0.01"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// TestFitConcurrentSharedPool runs two whole Fit calls concurrently through
+// the shared mat worker pool. Under -race this audits that the pooled
+// kernels share no mutable state across callers; the equality check audits
+// that the chunk partition keeps results deterministic regardless of which
+// goroutine executes a chunk.
+func TestFitConcurrentSharedPool(t *testing.T) {
+	x, mask, l := testProblem(t, 80, 3)
+	cfg := Config{K: 5, Lambda: 0.1, P: 3, MaxIter: 40, Seed: 7}
+
+	want, err := Fit(x, mask, l, SMFL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const fits = 2
+	models := make([]*Model, fits)
+	errs := make([]error, fits)
+	var wg sync.WaitGroup
+	for w := 0; w < fits; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			models[w], errs[w] = Fit(x, mask, l, SMFL, cfg)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < fits; w++ {
+		if errs[w] != nil {
+			t.Fatalf("concurrent fit %d: %v", w, errs[w])
+		}
+		if !mat.EqualApprox(models[w].U, want.U, 0) || !mat.EqualApprox(models[w].V, want.V, 0) {
+			t.Fatalf("concurrent fit %d diverged from the serial fit", w)
+		}
+	}
+}
+
+// TestAtMulColsMaskedMatchesDense checks the fused masked path of atMulCols
+// against the dense accumulation on Ω-supported inputs across densities,
+// including a frozen-column offset.
+func TestAtMulColsMaskedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, density := range []float64{0, 0.3, 0.7, 1.0} {
+		for _, c0 := range []int{0, 2} {
+			n, k, m := 23, 4, 9
+			a := mat.RandomUniform(rng, n, k, 0, 1)
+			omega := mat.NewMask(n, m)
+			for i := 0; i < n; i++ {
+				for j := 0; j < m; j++ {
+					if rng.Float64() < density {
+						omega.Observe(i, j)
+					}
+				}
+			}
+			b := omega.Project(nil, mat.RandomUniform(rng, n, m, 0, 1))
+
+			dense := mat.NewDense(k, m)
+			atMulCols(dense, a, b, c0, nil)
+			masked := mat.NewDense(k, m)
+			atMulCols(masked, a, b, c0, omega)
+			for r := 0; r < k; r++ {
+				for j := c0; j < m; j++ {
+					if d := dense.At(r, j) - masked.At(r, j); d > 1e-12 || d < -1e-12 {
+						t.Fatalf("density %.1f c0=%d: masked atMulCols (%d,%d)=%v, dense %v",
+							density, c0, r, j, masked.At(r, j), dense.At(r, j))
+					}
+				}
+			}
+		}
+	}
+}

@@ -157,51 +157,57 @@ func runMultiplicative(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *s
 		rx = mat.Hadamard(nil, rx, weights) // local weighted copy
 	}
 
+	// Hoisted out of the iteration loop: the factor backing slices are
+	// stable, so one fetch serves every element update.
+	ud := u.Data()
+	numUD, denUD := numU.Data(), denU.Data()
+	eps := cfg.Eps
+
 	prevObj := math.Inf(1)
 	for it := 0; it < cfg.MaxIter; it++ {
 		// ---- U step: U ⊙ (R_Ω(X)Vᵀ + λDU) ⊘ (R_Ω(UV)Vᵀ + λWU) ----
-		mat.Mul(uv, u, v)
-		omega.Project(uv, uv)
+		omega.ProjectMul(uv, u, v)
 		if weights != nil {
 			mat.Hadamard(uv, uv, weights)
 		}
-		mat.MulBT(numU, rx, v)
-		mat.MulBT(denU, uv, v)
+		omega.MulBTObserved(numU, rx, v)
+		omega.MulBTObserved(denU, uv, v)
 		if graph != nil && lam > 0 {
 			graph.MulD(du, u)
 			graph.MulW(wu, u)
 			mat.AddScaled(numU, numU, lam, du)
 			mat.AddScaled(denU, denU, lam, wu)
 		}
-		ud := u.Data()
-		for i, uval := range ud {
-			ud[i] = uval * numU.Data()[i] / (denU.Data()[i] + cfg.Eps)
-		}
+		mat.ParallelRange(len(ud), 2*len(ud), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ud[i] *= numUD[i] / (denUD[i] + eps)
+			}
+		})
 
 		// ---- V step: V ⊙ (UᵀR_Ω(X)) ⊘ (UᵀR_Ω(UV)), landmark columns fixed ----
-		mat.Mul(uv, u, v)
-		omega.Project(uv, uv)
+		omega.ProjectMul(uv, u, v)
 		if weights != nil {
 			mat.Hadamard(uv, uv, weights)
 		}
-		atMulCols(numV, u, rx, startCol)
-		atMulCols(denV, u, uv, startCol)
-		for r := 0; r < k; r++ {
-			vr := v.Row(r)
-			nr := numV.Row(r)
-			dr := denV.Row(r)
-			for j := startCol; j < m; j++ {
-				vr[j] *= nr[j] / (dr[j] + cfg.Eps)
+		atMulCols(numV, u, rx, startCol, omega)
+		atMulCols(denV, u, uv, startCol, omega)
+		mat.ParallelRange(m-startCol, 2*k*(m-startCol), func(lo, hi int) {
+			for r := 0; r < k; r++ {
+				vr := v.Row(r)
+				nr := numV.Row(r)
+				dr := denV.Row(r)
+				for j := startCol + lo; j < startCol+hi; j++ {
+					vr[j] *= nr[j] / (dr[j] + eps)
+				}
 			}
-		}
+		})
 
-		// ---- objective + early stop ----
-		mat.Mul(uv, u, v)
+		// ---- objective + early stop (fused: no third N×M matmul) ----
 		var obj float64
 		if weights != nil {
-			obj = omega.MaskedWeightedFrob2(x, uv, weights)
+			obj = omega.MaskedWeightedFrob2Mul(x, u, v, weights)
 		} else {
-			obj = omega.MaskedFrob2(x, uv)
+			obj = omega.MaskedFrob2Mul(x, u, v)
 		}
 		if graph != nil && lam > 0 {
 			obj += lam * graph.QuadForm(u)
@@ -218,30 +224,77 @@ func runMultiplicative(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *s
 
 // atMulCols stores (aᵀb)[:, c0:] into dst[:, c0:] (columns below c0 are left
 // untouched). Skipping the frozen landmark columns is exactly the reduced
-// computation the paper credits to landmarks (Section IV-E).
-func atMulCols(dst, a, b *mat.Dense, c0 int) {
+// computation the paper credits to landmarks (Section IV-E). The work is
+// column-partitioned across the worker pool (like mat.MulAT) so chunks write
+// disjoint dst columns. When omega is sparse and b is supported on Ω (true
+// for both call sites: R_Ω(X) and R_Ω(UV)), only the observed entries of b
+// are visited; both paths accumulate in the same i-ascending order, so they
+// agree bit-for-bit on Ω-supported inputs.
+func atMulCols(dst, a, b *mat.Dense, c0 int, omega *mat.Mask) {
 	n, k := a.Dims()
 	_, m := b.Dims()
-	for r := 0; r < k; r++ {
-		dr := dst.Row(r)
-		for j := c0; j < m; j++ {
-			dr[j] = 0
-		}
+	if m == c0 {
+		return
 	}
-	for i := 0; i < n; i++ {
-		ai := a.Row(i)
-		bi := b.Row(i)
+	fused := omega != nil && omega.Density() < mat.DenseCutover
+	ad, bd, dd := a.Data(), b.Data(), dst.Data()
+	mat.ParallelRange(m-c0, n*k*(m-c0), func(lo, hi int) {
+		jlo, jhi := c0+lo, c0+hi
 		for r := 0; r < k; r++ {
-			av := ai[r]
-			if av == 0 {
+			dr := dd[r*m : (r+1)*m]
+			for j := jlo; j < jhi; j++ {
+				dr[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			ai := ad[i*k : (i+1)*k]
+			bi := bd[i*m : (i+1)*m]
+			if fused {
+				// Every fused caller passes an Ω-supported b (rx or the
+				// output of ProjectMul), so unobserved entries are exact
+				// zeros and a value test replaces the mask bit test. The
+				// r-outer 4-wide blocks keep the dst writes streaming.
+				r := 0
+				for ; r+4 <= k; r += 4 {
+					a0, a1, a2, a3 := ai[r], ai[r+1], ai[r+2], ai[r+3]
+					d0 := dd[r*m : (r+1)*m]
+					d1 := dd[(r+1)*m : (r+2)*m]
+					d2 := dd[(r+2)*m : (r+3)*m]
+					d3 := dd[(r+3)*m : (r+4)*m]
+					for j := jlo; j < jhi; j++ {
+						bv := bi[j]
+						if bv == 0 {
+							continue
+						}
+						d0[j] += a0 * bv
+						d1[j] += a1 * bv
+						d2[j] += a2 * bv
+						d3[j] += a3 * bv
+					}
+				}
+				for ; r < k; r++ {
+					av := ai[r]
+					dr := dd[r*m : (r+1)*m]
+					for j := jlo; j < jhi; j++ {
+						if bv := bi[j]; bv != 0 {
+							dr[j] += av * bv
+						}
+					}
+				}
 				continue
 			}
-			dr := dst.Row(r)
-			for j := c0; j < m; j++ {
-				dr[j] += av * bi[j]
+			for r := 0; r < k; r++ {
+				av := ai[r]
+				if av == 0 {
+					continue
+				}
+				dr := dd[r*m : (r+1)*m]
+				for j := jlo; j < jhi; j++ {
+					dr[j] += av * bi[j]
+				}
 			}
 		}
-	}
+	})
 }
 
 // runGradientDescent iterates the plain projected gradient scheme of
@@ -268,12 +321,11 @@ func runGradientDescent(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *
 
 	prevObj := math.Inf(1)
 	for it := 0; it < cfg.MaxIter; it++ {
-		mat.Mul(uv, u, v)
-		omega.Project(uv, uv)
+		omega.ProjectMul(uv, u, v)
 
 		// ∂O/∂U = −2 R_Ω(X)Vᵀ + 2 R_Ω(UV)Vᵀ + 2λLU
-		mat.MulBT(gradU, uv, v)
-		mat.MulBT(tmpU, rx, v)
+		omega.MulBTObserved(gradU, uv, v)
+		omega.MulBTObserved(tmpU, rx, v)
 		mat.Sub(gradU, gradU, tmpU)
 		if graph != nil && lam > 0 {
 			graph.MulL(lu, u)
@@ -283,24 +335,25 @@ func runGradientDescent(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *
 		u.ClampMin(0)
 
 		// ∂O/∂V = −2 UᵀR_Ω(X) + 2 UᵀR_Ω(UV); landmark columns frozen.
-		mat.Mul(uv, u, v)
-		omega.Project(uv, uv)
-		atMulCols(gradV, u, uv, startCol)
-		atMulCols(tmpV, u, rx, startCol)
-		for r := 0; r < k; r++ {
-			vr := v.Row(r)
-			gr := gradV.Row(r)
-			tr := tmpV.Row(r)
-			for j := startCol; j < m; j++ {
-				vr[j] -= 2 * lr * (gr[j] - tr[j])
-				if vr[j] < 0 {
-					vr[j] = 0
+		omega.ProjectMul(uv, u, v)
+		atMulCols(gradV, u, uv, startCol, omega)
+		atMulCols(tmpV, u, rx, startCol, omega)
+		mat.ParallelRange(m-startCol, 4*k*(m-startCol), func(lo, hi int) {
+			for r := 0; r < k; r++ {
+				vr := v.Row(r)
+				gr := gradV.Row(r)
+				tr := tmpV.Row(r)
+				for j := startCol + lo; j < startCol+hi; j++ {
+					vr[j] -= 2 * lr * (gr[j] - tr[j])
+					if vr[j] < 0 {
+						vr[j] = 0
+					}
 				}
 			}
-		}
+		})
 
-		mat.Mul(uv, u, v)
-		obj := omega.MaskedFrob2(x, uv)
+		// Fused objective: no third N×M matmul per iteration.
+		obj := omega.MaskedFrob2Mul(x, u, v)
 		if graph != nil && lam > 0 {
 			obj += lam * graph.QuadForm(u)
 		}

@@ -53,29 +53,100 @@ func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense,
 	k := m.Config.K
 	rng := rand.New(rand.NewSource(m.Config.Seed + 1))
 	u := mat.RandomUniform(rng, r, k, 1e-3, 1)
-	uv := mat.NewDense(r, cols)
-	num := mat.NewDense(r, k)
-	den := mat.NewDense(r, k)
 	eps := m.Config.Eps
 	if eps == 0 {
 		eps = 1e-12
 	}
-	prev := math.Inf(1)
-	for it := 0; it < iters; it++ {
-		mat.Mul(uv, u, m.V)
-		omega.Project(uv, uv)
-		mat.MulBT(num, rx, m.V)
-		mat.MulBT(den, uv, m.V)
-		ud, nd, dd := u.Data(), num.Data(), den.Data()
-		for i, v := range ud {
-			ud[i] = v * nd[i] / (dd[i] + eps)
+
+	// Each row's trajectory is independent of the rest of the batch: the
+	// update touches only u_i and the convergence test is per-row, so a row
+	// that has converged freezes while the stragglers keep iterating (and a
+	// single-row FoldIn reproduces row 0 of a batched call exactly). The
+	// masked update and objective are fused — only observed dot products
+	// against Vᵀ are evaluated, never the dense u·V product.
+	vt := m.V.T() // cols×k: contiguous rows for the per-entry dot products
+	vtd := vt.Data()
+	active := make([]bool, r)
+	prev := make([]float64, r)
+	for i := range active {
+		active[i] = true
+		prev[i] = math.Inf(1)
+	}
+	remaining := r
+	for it := 0; it < iters && remaining > 0; it++ {
+		mat.ParallelRange(r, 3*remaining*cols*k, func(lo, hi int) {
+			num := make([]float64, k)
+			den := make([]float64, k)
+			for i := lo; i < hi; i++ {
+				if !active[i] {
+					continue
+				}
+				ui := u.Row(i)
+				xi := rx.Row(i)
+				for t := 0; t < k; t++ {
+					num[t], den[t] = 0, 0
+				}
+				for j := 0; j < cols; j++ {
+					if !omega.Observed(i, j) {
+						continue
+					}
+					vtj := vtd[j*k : (j+1)*k]
+					// Open-coded dot (same accumulation order as mat.DotVec,
+					// which the compiler does not inline): p = (uV)_ij.
+					var p0, p1, p2, p3 float64
+					t := 0
+					for ; t+4 <= k; t += 4 {
+						p0 += ui[t] * vtj[t]
+						p1 += ui[t+1] * vtj[t+1]
+						p2 += ui[t+2] * vtj[t+2]
+						p3 += ui[t+3] * vtj[t+3]
+					}
+					p := (p0 + p2) + (p1 + p3)
+					for ; t < k; t++ {
+						p += ui[t] * vtj[t]
+					}
+					xv := xi[j]
+					for t, vv := range vtj {
+						num[t] += xv * vv
+						den[t] += p * vv
+					}
+				}
+				for t, uval := range ui {
+					ui[t] = uval * num[t] / (den[t] + eps)
+				}
+				var obj float64
+				for j := 0; j < cols; j++ {
+					if !omega.Observed(i, j) {
+						continue
+					}
+					vtj := vtd[j*k : (j+1)*k]
+					var p0, p1, p2, p3 float64
+					t := 0
+					for ; t+4 <= k; t += 4 {
+						p0 += ui[t] * vtj[t]
+						p1 += ui[t+1] * vtj[t+1]
+						p2 += ui[t+2] * vtj[t+2]
+						p3 += ui[t+3] * vtj[t+3]
+					}
+					p := (p0 + p2) + (p1 + p3)
+					for ; t < k; t++ {
+						p += ui[t] * vtj[t]
+					}
+					d := xi[j] - p
+					obj += d * d
+				}
+				if !math.IsInf(prev[i], 1) && math.Abs(prev[i]-obj) <= 1e-8*math.Max(prev[i], 1e-12) {
+					active[i] = false
+				}
+				prev[i] = obj
+			}
+		})
+		remaining = 0
+		for _, a := range active {
+			if a {
+				remaining++
+			}
 		}
-		mat.Mul(uv, u, m.V)
-		obj := omega.MaskedFrob2(rows, uv)
-		if !math.IsInf(prev, 1) && math.Abs(prev-obj) <= 1e-8*math.Max(prev, 1e-12) {
-			break
-		}
-		prev = obj
 	}
 	return u, nil
 }

@@ -179,3 +179,39 @@ func TestFoldInReconstructsTrainingRows(t *testing.T) {
 		t.Fatalf("fold-in reconstruction %v much worse than fit %v", foldErr, fitErr)
 	}
 }
+
+// TestFoldInSingleRowMatchesBatchRow pins down the per-row early stop: row 0
+// of a batched fold-in follows exactly the same trajectory as a single-row
+// fold-in (identical init draws, per-row convergence test, updates that only
+// touch u_i), so the two must agree bit-for-bit. Under a batch-global
+// convergence test a fast row would keep iterating alongside the slowest row
+// in the batch and drift away from its single-row result.
+func TestFoldInSingleRowMatchesBatchRow(t *testing.T) {
+	model, test := foldInFixture(t)
+	n, m := test.Dims()
+	omega := mat.FullMask(n, m)
+	for i := 0; i < n; i++ {
+		omega.Hide(i, 2+(i%(m-2)))
+	}
+	batch, err := model.FoldIn(test, omega, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row0 := test.Slice(0, 1, 0, m)
+	omega0 := mat.NewMask(1, m)
+	for j := 0; j < m; j++ {
+		if omega.Observed(0, j) {
+			omega0.Observe(0, j)
+		}
+	}
+	single, err := model.FoldIn(row0, omega0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < model.Config.K; k++ {
+		if single.At(0, k) != batch.At(0, k) {
+			t.Fatalf("coefficient %d: single-row %v vs batch row 0 %v",
+				k, single.At(0, k), batch.At(0, k))
+		}
+	}
+}

@@ -3,6 +3,7 @@ package mat
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Mask records which entries of an N×M matrix are observed (the set Ω in the
@@ -11,6 +12,18 @@ import (
 type Mask struct {
 	rows, cols int
 	words      []uint64
+	// index lazily caches the observed columns per row in CSR form for the
+	// fused masked kernels, which walk Ω once per training iteration. It is
+	// invalidated by Observe/Hide; concurrent rebuilds are benign (each
+	// builder produces an identical index and the last store wins).
+	index atomic.Pointer[maskIndex]
+}
+
+// maskIndex is a CSR view of Ω: row i's observed columns are
+// idx[indptr[i]:indptr[i+1]].
+type maskIndex struct {
+	indptr []int
+	idx    []int32
 }
 
 // NewMask returns an all-unobserved mask of the given shape.
@@ -55,12 +68,14 @@ func (m *Mask) Observed(i, j int) bool {
 func (m *Mask) Observe(i, j int) {
 	k := m.idx(i, j)
 	m.words[k>>6] |= 1 << (uint(k) & 63)
+	m.index.Store(nil)
 }
 
 // Hide marks (i,j) as unobserved.
 func (m *Mask) Hide(i, j int) {
 	k := m.idx(i, j)
 	m.words[k>>6] &^= 1 << (uint(k) & 63)
+	m.index.Store(nil)
 }
 
 // Count returns |Ω|, the number of observed entries.
@@ -128,13 +143,35 @@ func (m *Mask) Project(dst, x *Dense) *Dense {
 		panic(dimErr("Project dst", dst, x))
 	}
 	n := m.rows * m.cols
-	for k := 0; k < n; k++ {
-		if m.words[k>>6]&(1<<(uint(k)&63)) != 0 {
-			dst.data[k] = x.data[k]
-		} else {
-			dst.data[k] = 0
+	// Word-at-a-time: fully observed words become a block copy, fully
+	// hidden words a block zero; only mixed words walk individual bits.
+	// Chunking on word boundaries keeps the pooled ranges disjoint.
+	ParallelRange(len(m.words), n, func(wlo, whi int) {
+		for wi := wlo; wi < whi; wi++ {
+			w := m.words[wi]
+			lo := wi * 64
+			hi := lo + 64
+			if hi > n {
+				hi = n
+			}
+			switch {
+			case w == 0:
+				for k := lo; k < hi; k++ {
+					dst.data[k] = 0
+				}
+			case w == ^uint64(0) && hi-lo == 64:
+				copy(dst.data[lo:hi], x.data[lo:hi])
+			default:
+				for k := lo; k < hi; k++ {
+					if w&(1<<(uint(k)&63)) != 0 {
+						dst.data[k] = x.data[k]
+					} else {
+						dst.data[k] = 0
+					}
+				}
+			}
 		}
-	}
+	})
 	return dst
 }
 

@@ -1,0 +1,265 @@
+package mat
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DenseCutover is the observed-density threshold at which the fused masked
+// kernels fall back to their dense counterparts. Below it, evaluating only
+// the observed entries is cheaper; at or above it the dense ikj matmul wins
+// through better streaming, despite computing entries that the mask
+// immediately discards.
+const DenseCutover = 0.85
+
+// Density returns |Ω| / (rows·cols), the fraction of observed entries.
+// An empty mask reports density 1.
+func (m *Mask) Density() float64 {
+	n := m.rows * m.cols
+	if n == 0 {
+		return 1
+	}
+	return float64(m.Count()) / float64(n)
+}
+
+// appendObservedCols appends the observed column indices of row i to js and
+// returns the extended slice. It walks set bits with TrailingZeros64, so the
+// cost is proportional to the words spanned plus the observed count, not to
+// the row width.
+func (m *Mask) appendObservedCols(js []int32, i int) []int32 {
+	base := i * m.cols
+	end := base + m.cols
+	for wi := base >> 6; wi<<6 < end; wi++ {
+		w := m.words[wi]
+		if w == 0 {
+			continue
+		}
+		off := wi << 6
+		if off < base {
+			w &= ^uint64(0) << uint(base-off)
+		}
+		if end-off < 64 {
+			w &= 1<<uint(end-off) - 1
+		}
+		for w != 0 {
+			js = append(js, int32(off+bits.TrailingZeros64(w)-base))
+			w &= w - 1
+		}
+	}
+	return js
+}
+
+// rowIdx returns the CSR index of Ω, building and caching it on first use.
+// One build costs a single pass over the bitset; the fused kernels then read
+// each row's observed-column list directly instead of re-scanning mask words
+// every call.
+func (m *Mask) rowIdx() *maskIndex {
+	if ix := m.index.Load(); ix != nil {
+		return ix
+	}
+	ix := &maskIndex{
+		indptr: make([]int, m.rows+1),
+		idx:    make([]int32, 0, m.Count()),
+	}
+	for i := 0; i < m.rows; i++ {
+		ix.indptr[i] = len(ix.idx)
+		ix.idx = m.appendObservedCols(ix.idx, i)
+	}
+	ix.indptr[m.rows] = len(ix.idx)
+	m.index.Store(ix)
+	return ix
+}
+
+// ProjectMul stores R_Ω(u·v) into dst (allocated if nil) and returns dst,
+// evaluating only the observed entries instead of materializing the full
+// u·v. The inner kernel runs k-outer and 4-wide over the factor rows,
+// gathering on the observed column list, so per-iteration cost scales with
+// |Ω|·k. When the mask density reaches DenseCutover it switches to the dense
+// Mul followed by an in-place projection. dst must not alias u or v.
+func (m *Mask) ProjectMul(dst, u, v *Dense) *Dense {
+	if u.rows != m.rows || v.cols != m.cols || u.cols != v.rows {
+		panic(fmt.Sprintf("mat: ProjectMul %dx%d · %dx%d vs mask %dx%d",
+			u.rows, u.cols, v.rows, v.cols, m.rows, m.cols))
+	}
+	if dst == nil {
+		dst = NewDense(m.rows, m.cols)
+	}
+	if dst.rows != m.rows || dst.cols != m.cols {
+		panic(dimErr("ProjectMul dst", dst, &Dense{rows: m.rows, cols: m.cols}))
+	}
+	if m.rows*m.cols == 0 {
+		return dst
+	}
+	if m.Density() >= DenseCutover {
+		Mul(dst, u, v)
+		return m.Project(dst, dst)
+	}
+	k := u.cols
+	cols := m.cols
+	ix := m.rowIdx()
+	ParallelRange(m.rows, len(ix.idx)*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst.data[i*cols : (i+1)*cols]
+			clear(di)
+			jsr := ix.idx[ix.indptr[i]:ix.indptr[i+1]]
+			if len(jsr) == 0 {
+				continue
+			}
+			ui := u.data[i*k : (i+1)*k]
+			t := 0
+			for ; t+4 <= k; t += 4 {
+				a0, a1, a2, a3 := ui[t], ui[t+1], ui[t+2], ui[t+3]
+				v0 := v.data[t*cols : (t+1)*cols]
+				v1 := v.data[(t+1)*cols : (t+2)*cols]
+				v2 := v.data[(t+2)*cols : (t+3)*cols]
+				v3 := v.data[(t+3)*cols : (t+4)*cols]
+				for _, j := range jsr {
+					di[j] += a0*v0[j] + a1*v1[j] + a2*v2[j] + a3*v3[j]
+				}
+			}
+			for ; t < k; t++ {
+				av := ui[t]
+				vt := v.data[t*cols : (t+1)*cols]
+				for _, j := range jsr {
+					di[j] += av * vt[j]
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// MulBTObserved stores R_Ω(a)·bᵀ into dst (allocated if nil) and returns
+// dst, skipping the unobserved entries of a entirely. a is R×C and b is K×C,
+// giving an R×K product. a must be supported on Ω (for example the output of
+// ProjectMul or Project): off-Ω entries must be exact zeros, which makes the
+// result equal MulBT(dst, a, b) while doing only |Ω|·K of its R·C·K
+// multiply-adds. Near-full masks (density ≥ DenseCutover) delegate to the
+// streaming MulBT, which beats the gathered walk there. dst must not alias a
+// or b.
+func (m *Mask) MulBTObserved(dst, a, b *Dense) *Dense {
+	if a.rows != m.rows || a.cols != m.cols {
+		panic(fmt.Sprintf("mat: MulBTObserved a %dx%d vs mask %dx%d", a.rows, a.cols, m.rows, m.cols))
+	}
+	if b.cols != m.cols {
+		panic(dimErr("MulBTObserved", a, b))
+	}
+	if m.Density() >= DenseCutover {
+		return MulBT(dst, a, b)
+	}
+	dst = mulDst(dst, a.rows, b.rows)
+	k := b.rows
+	cols := m.cols
+	ix := m.rowIdx()
+	ParallelRange(m.rows, len(ix.idx)*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			jsr := ix.idx[ix.indptr[i]:ix.indptr[i+1]]
+			if len(jsr) == 0 {
+				continue
+			}
+			ai := a.data[i*cols : (i+1)*cols]
+			di := dst.data[i*k : (i+1)*k]
+			t := 0
+			for ; t+4 <= k; t += 4 {
+				b0 := b.data[t*cols : (t+1)*cols]
+				b1 := b.data[(t+1)*cols : (t+2)*cols]
+				b2 := b.data[(t+2)*cols : (t+3)*cols]
+				b3 := b.data[(t+3)*cols : (t+4)*cols]
+				var s0, s1, s2, s3 float64
+				for _, j := range jsr {
+					av := ai[j]
+					s0 += av * b0[j]
+					s1 += av * b1[j]
+					s2 += av * b2[j]
+					s3 += av * b3[j]
+				}
+				di[t], di[t+1], di[t+2], di[t+3] = s0, s1, s2, s3
+			}
+			for ; t < k; t++ {
+				bt := b.data[t*cols : (t+1)*cols]
+				var s float64
+				for _, j := range jsr {
+					s += ai[j] * bt[j]
+				}
+				di[t] = s
+			}
+		}
+	})
+	return dst
+}
+
+// MaskedFrob2Mul returns ‖R_Ω(x − u·v)‖²_F without materializing u·v,
+// fusing the reconstruction-error evaluation into one masked pass. The
+// reduction is accumulated per worker chunk and combined in chunk order, so
+// results are deterministic for a fixed pool size.
+func (m *Mask) MaskedFrob2Mul(x, u, v *Dense) float64 {
+	return m.maskedFrob2Mul(x, u, v, nil)
+}
+
+// MaskedWeightedFrob2Mul returns Σ_{(i,j)∈Ω} w_ij (x_ij − (u·v)_ij)², the
+// fused weighted variant of MaskedFrob2Mul.
+func (m *Mask) MaskedWeightedFrob2Mul(x, u, v, w *Dense) float64 {
+	if w.rows != m.rows || w.cols != m.cols {
+		panic(fmt.Sprintf("mat: MaskedWeightedFrob2Mul weights %dx%d vs mask %dx%d", w.rows, w.cols, m.rows, m.cols))
+	}
+	return m.maskedFrob2Mul(x, u, v, w)
+}
+
+func (m *Mask) maskedFrob2Mul(x, u, v, wts *Dense) float64 {
+	if x.rows != m.rows || x.cols != m.cols || u.rows != m.rows || v.cols != m.cols || u.cols != v.rows {
+		panic(fmt.Sprintf("mat: MaskedFrob2Mul %dx%d vs %dx%d · %dx%d vs mask %dx%d",
+			x.rows, x.cols, u.rows, u.cols, v.rows, v.cols, m.rows, m.cols))
+	}
+	if m.rows*m.cols == 0 {
+		return 0
+	}
+	k := u.cols
+	cols := m.cols
+	ix := m.rowIdx()
+	return parallelReduce(m.rows, len(ix.idx)*k, func(lo, hi int) float64 {
+		pred := make([]float64, cols)
+		var s float64
+		for i := lo; i < hi; i++ {
+			jsr := ix.idx[ix.indptr[i]:ix.indptr[i+1]]
+			if len(jsr) == 0 {
+				continue
+			}
+			ui := u.data[i*k : (i+1)*k]
+			for _, j := range jsr {
+				pred[j] = 0
+			}
+			t := 0
+			for ; t+4 <= k; t += 4 {
+				a0, a1, a2, a3 := ui[t], ui[t+1], ui[t+2], ui[t+3]
+				v0 := v.data[t*cols : (t+1)*cols]
+				v1 := v.data[(t+1)*cols : (t+2)*cols]
+				v2 := v.data[(t+2)*cols : (t+3)*cols]
+				v3 := v.data[(t+3)*cols : (t+4)*cols]
+				for _, j := range jsr {
+					pred[j] += a0*v0[j] + a1*v1[j] + a2*v2[j] + a3*v3[j]
+				}
+			}
+			for ; t < k; t++ {
+				av := ui[t]
+				vt := v.data[t*cols : (t+1)*cols]
+				for _, j := range jsr {
+					pred[j] += av * vt[j]
+				}
+			}
+			xi := x.data[i*cols : (i+1)*cols]
+			if wts != nil {
+				wi := wts.data[i*cols : (i+1)*cols]
+				for _, j := range jsr {
+					d := xi[j] - pred[j]
+					s += wi[j] * d * d
+				}
+			} else {
+				for _, j := range jsr {
+					d := xi[j] - pred[j]
+					s += d * d
+				}
+			}
+		}
+		return s
+	})
+}

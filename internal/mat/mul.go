@@ -1,15 +1,5 @@
 package mat
 
-import (
-	"runtime"
-	"sync"
-)
-
-// parallelThreshold is the minimum number of scalar multiply-adds in a matmul
-// before the work is split across goroutines. Below it the goroutine overhead
-// dominates on small operands.
-const parallelThreshold = 1 << 20
-
 // Mul stores a*b into dst (allocated if nil) and returns dst.
 // dst must not alias a or b.
 func Mul(dst, a, b *Dense) *Dense {
@@ -18,11 +8,28 @@ func Mul(dst, a, b *Dense) *Dense {
 	}
 	dst = mulDst(dst, a.rows, b.cols)
 	mulRange := func(lo, hi int) {
-		// ikj loop order streams b rows for cache friendliness.
+		// ikj loop order streams b rows for cache friendliness; the k loop
+		// is unrolled 4-wide so each pass over a dst row does four
+		// multiply-adds per load/store of dst.
 		for i := lo; i < hi; i++ {
 			di := dst.data[i*dst.cols : (i+1)*dst.cols]
 			ai := a.data[i*a.cols : (i+1)*a.cols]
-			for k, av := range ai {
+			k := 0
+			for ; k+4 <= len(ai); k += 4 {
+				a0, a1, a2, a3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b.data[k*b.cols : (k+1)*b.cols]
+				b1 := b.data[(k+1)*b.cols : (k+2)*b.cols]
+				b2 := b.data[(k+2)*b.cols : (k+3)*b.cols]
+				b3 := b.data[(k+3)*b.cols : (k+4)*b.cols]
+				for j, bv := range b0 {
+					di[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; k < len(ai); k++ {
+				av := ai[k]
 				if av == 0 {
 					continue
 				}
@@ -49,10 +56,21 @@ func MulBT(dst, a, b *Dense) *Dense {
 			ai := a.data[i*a.cols : (i+1)*a.cols]
 			di := dst.data[i*dst.cols : (i+1)*dst.cols]
 			for j := 0; j < b.rows; j++ {
+				// Open-coded DotVec: the compiler does not inline it, and at
+				// the small factor ranks used here the call overhead per dot
+				// is comparable to the dot itself.
 				bj := b.data[j*b.cols : (j+1)*b.cols]
-				var s float64
-				for k, av := range ai {
-					s += av * bj[k]
+				var s0, s1, s2, s3 float64
+				k := 0
+				for ; k+4 <= len(ai); k += 4 {
+					s0 += ai[k] * bj[k]
+					s1 += ai[k+1] * bj[k+1]
+					s2 += ai[k+2] * bj[k+2]
+					s3 += ai[k+3] * bj[k+3]
+				}
+				s := (s0 + s2) + (s1 + s3)
+				for ; k < len(ai); k++ {
+					s += ai[k] * bj[k]
 				}
 				di[j] = s
 			}
@@ -69,57 +87,22 @@ func MulAT(dst, a, b *Dense) *Dense {
 		panic(dimErr("MulAT", a, b))
 	}
 	dst = mulDst(dst, a.cols, b.cols)
-	// Accumulate row-by-row of a/b: dst += a_row ⊗ b_row.
-	// Serial: each a row touches the whole dst, so row-splitting would race.
-	// Parallelize over dst rows instead by partitioning columns of a.
-	work := a.rows * a.cols * b.cols
-	nw := workers(work)
-	if nw <= 1 || a.cols < 2*nw {
+	// Accumulate row-by-row of a/b: dst += a_row ⊗ b_row. Each a row touches
+	// the whole dst, so row-splitting would race; parallelize over dst rows
+	// instead by partitioning columns of a.
+	ParallelRange(a.cols, a.rows*a.cols*b.cols, func(lo, hi int) {
 		for r := 0; r < a.rows; r++ {
 			ar := a.data[r*a.cols : (r+1)*a.cols]
 			br := b.data[r*b.cols : (r+1)*b.cols]
-			for i, av := range ar {
+			for i := lo; i < hi; i++ {
+				av := ar[i]
 				if av == 0 {
 					continue
 				}
-				di := dst.data[i*dst.cols : (i+1)*dst.cols]
-				for j, bv := range br {
-					di[j] += av * bv
-				}
+				AxpyVec(dst.data[i*dst.cols:(i+1)*dst.cols], av, br)
 			}
 		}
-		return dst
-	}
-	var wg sync.WaitGroup
-	chunk := (a.cols + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > a.cols {
-			hi = a.cols
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for r := 0; r < a.rows; r++ {
-				ar := a.data[r*a.cols : (r+1)*a.cols]
-				br := b.data[r*b.cols : (r+1)*b.cols]
-				for i := lo; i < hi; i++ {
-					av := ar[i]
-					if av == 0 {
-						continue
-					}
-					di := dst.data[i*dst.cols : (i+1)*dst.cols]
-					for j, bv := range br {
-						di[j] += av * bv
-					}
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return dst
 }
 
@@ -136,14 +119,44 @@ func MulVec(dst []float64, m *Dense, x []float64) []float64 {
 		panic("mat: MulVec dst length mismatch")
 	}
 	for i := 0; i < m.rows; i++ {
-		ri := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range ri {
-			s += v * x[j]
-		}
-		dst[i] = s
+		dst[i] = DotVec(m.data[i*m.cols:(i+1)*m.cols], x)
 	}
 	return dst
+}
+
+// DotVec returns the dot product of equal-length slices a and b, accumulated
+// in four independent partial sums so the multiply-adds pipeline.
+func DotVec(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; k < len(a); k++ {
+		s += a[k] * b[k]
+	}
+	return s
+}
+
+// AxpyVec computes dst += s*x element-wise, 4-wide unrolled. The slices must
+// have equal length.
+func AxpyVec(dst []float64, s float64, x []float64) {
+	x = x[:len(dst)]
+	k := 0
+	for ; k+4 <= len(dst); k += 4 {
+		dst[k] += s * x[k]
+		dst[k+1] += s * x[k+1]
+		dst[k+2] += s * x[k+2]
+		dst[k+3] += s * x[k+3]
+	}
+	for ; k < len(dst); k++ {
+		dst[k] += s * x[k]
+	}
 }
 
 func mulDst(dst *Dense, r, c int) *Dense {
@@ -155,42 +168,4 @@ func mulDst(dst *Dense, r, c int) *Dense {
 	}
 	dst.Zero()
 	return dst
-}
-
-func workers(work int) int {
-	if work < parallelThreshold {
-		return 1
-	}
-	n := runtime.GOMAXPROCS(0)
-	if n > 8 {
-		n = 8
-	}
-	return n
-}
-
-// parallelRows runs fn over [0,rows) split into contiguous chunks across
-// workers when the total work is large enough; otherwise serially.
-func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
-	nw := workers(rows * workPerRow)
-	if nw <= 1 || rows < 2*nw {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > rows {
-			hi = rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

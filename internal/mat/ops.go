@@ -23,9 +23,12 @@ func Sub(dst, a, b *Dense) *Dense {
 // Hadamard stores the element-wise product a⊙b into dst and returns dst.
 func Hadamard(dst, a, b *Dense) *Dense {
 	dst = prep(dst, a, b, "Hadamard")
-	for i, v := range a.data {
-		dst.data[i] = v * b.data[i]
-	}
+	ad, bd, dd := a.data, b.data, dst.data
+	ParallelRange(len(ad), len(ad), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] * bd[i]
+		}
+	})
 	return dst
 }
 
@@ -51,9 +54,12 @@ func Scale(dst *Dense, s float64, a *Dense) *Dense {
 // AddScaled stores a + s*b into dst and returns dst.
 func AddScaled(dst, a *Dense, s float64, b *Dense) *Dense {
 	dst = prep(dst, a, b, "AddScaled")
-	for i, v := range a.data {
-		dst.data[i] = v + s*b.data[i]
-	}
+	ad, bd, dd := a.data, b.data, dst.data
+	ParallelRange(len(ad), len(ad), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] + s*bd[i]
+		}
+	})
 	return dst
 }
 

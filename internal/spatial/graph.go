@@ -12,9 +12,10 @@ import (
 // d_ij = 1 iff x_i ∈ NN_p(x_j) or x_j ∈ NN_p(x_i). Only the adjacency lists
 // and degrees are stored — D is sparse with ≤ 2pN nonzeros.
 type Graph struct {
-	n   int
-	adj [][]int32 // sorted neighbor lists, no self loops
-	deg []float64 // w_ii = Σ_t d_it (Formula 4)
+	n     int
+	adj   [][]int32 // sorted neighbor lists, no self loops
+	deg   []float64 // w_ii = Σ_t d_it (Formula 4)
+	edges int       // undirected edge count, fixed at build time
 }
 
 // BuildMode selects the neighbor-search backend for BuildGraph.
@@ -79,7 +80,9 @@ func BuildGraph(si *mat.Dense, p int, mode BuildMode) (*Graph, error) {
 		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
 		g.adj[i] = lst
 		g.deg[i] = float64(len(lst))
+		g.edges += len(lst)
 	}
+	g.edges /= 2
 	return g, nil
 }
 
@@ -93,13 +96,7 @@ func (g *Graph) Degree(i int) float64 { return g.deg[i] }
 func (g *Graph) Neighbors(i int) []int32 { return g.adj[i] }
 
 // Edges returns the total number of undirected edges.
-func (g *Graph) Edges() int {
-	var s int
-	for _, a := range g.adj {
-		s += len(a)
-	}
-	return s / 2
-}
+func (g *Graph) Edges() int { return g.edges }
 
 // Connected reports whether d_ij = 1.
 func (g *Graph) Connected(i, j int) bool {
@@ -117,6 +114,8 @@ func (g *Graph) Connected(i, j int) bool {
 }
 
 // MulD stores D·u into dst (allocated if nil): (DU)_i = Σ_{j∈adj(i)} u_j.
+// Rows of dst are written by exactly one worker, so the sparse product is
+// row-partitioned across the shared pool. dst must not alias u.
 func (g *Graph) MulD(dst, u *mat.Dense) *mat.Dense {
 	r, c := u.Dims()
 	if r != g.n {
@@ -125,18 +124,21 @@ func (g *Graph) MulD(dst, u *mat.Dense) *mat.Dense {
 	if dst == nil {
 		dst = mat.NewDense(r, c)
 	}
-	for i := 0; i < g.n; i++ {
-		di := dst.Row(i)
-		for k := range di {
-			di[k] = 0
-		}
-		for _, j := range g.adj[i] {
-			uj := u.Row(int(j))
-			for k, v := range uj {
-				di[k] += v
+	ud, dd := u.Data(), dst.Data()
+	mat.ParallelRange(g.n, 2*g.Edges()*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dd[i*c : (i+1)*c]
+			for k := range di {
+				di[k] = 0
+			}
+			for _, j := range g.adj[i] {
+				uj := ud[int(j)*c : (int(j)+1)*c]
+				for k, v := range uj {
+					di[k] += v
+				}
 			}
 		}
-	}
+	})
 	return dst
 }
 
@@ -149,29 +151,48 @@ func (g *Graph) MulW(dst, u *mat.Dense) *mat.Dense {
 	if dst == nil {
 		dst = mat.NewDense(r, c)
 	}
-	for i := 0; i < g.n; i++ {
-		d := g.deg[i]
-		ui := u.Row(i)
-		di := dst.Row(i)
-		for k, v := range ui {
-			di[k] = d * v
+	ud, dd := u.Data(), dst.Data()
+	mat.ParallelRange(g.n, g.n*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := g.deg[i]
+			ui := ud[i*c : (i+1)*c]
+			di := dd[i*c : (i+1)*c]
+			for k, v := range ui {
+				di[k] = d * v
+			}
 		}
-	}
+	})
 	return dst
 }
 
-// MulL stores L·u = (W−D)·u into dst (allocated if nil).
+// MulL stores L·u = (W−D)·u into dst (allocated if nil), fusing the degree
+// scaling and neighbor subtraction into one row-partitioned pass.
+// dst must not alias u.
 func (g *Graph) MulL(dst, u *mat.Dense) *mat.Dense {
-	dst = g.MulW(dst, u)
-	for i := 0; i < g.n; i++ {
-		di := dst.Row(i)
-		for _, j := range g.adj[i] {
-			uj := u.Row(int(j))
-			for k, v := range uj {
-				di[k] -= v
+	r, c := u.Dims()
+	if r != g.n {
+		panic(fmt.Sprintf("spatial: MulL rows %d, graph has %d", r, g.n))
+	}
+	if dst == nil {
+		dst = mat.NewDense(r, c)
+	}
+	ud, dd := u.Data(), dst.Data()
+	mat.ParallelRange(g.n, (g.n+2*g.Edges())*c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := g.deg[i]
+			ui := ud[i*c : (i+1)*c]
+			di := dd[i*c : (i+1)*c]
+			for k, v := range ui {
+				di[k] = d * v
+			}
+			for _, j := range g.adj[i] {
+				uj := ud[int(j)*c : (int(j)+1)*c]
+				for k, v := range uj {
+					di[k] -= v
+				}
 			}
 		}
-	}
+	})
 	return dst
 }
 
@@ -182,14 +203,15 @@ func (g *Graph) QuadForm(u *mat.Dense) float64 {
 	if r != g.n {
 		panic(fmt.Sprintf("spatial: QuadForm rows %d, graph has %d", r, g.n))
 	}
+	ud := u.Data()
 	var s float64
 	for i := 0; i < g.n; i++ {
-		ui := u.Row(i)
+		ui := ud[i*c : (i+1)*c]
 		for _, j := range g.adj[i] {
 			if int(j) < i {
 				continue // count each undirected edge once
 			}
-			uj := u.Row(int(j))
+			uj := ud[int(j)*c : (int(j)+1)*c]
 			for k := 0; k < c; k++ {
 				d := ui[k] - uj[k]
 				s += d * d

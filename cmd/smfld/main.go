@@ -1,11 +1,14 @@
 // Command smfld serves fitted SMFL models over HTTP: an online imputation
-// daemon hosting a hot-reloadable model registry, micro-batched fold-in, and
-// operational metrics (see internal/serve).
+// daemon hosting a hot-reloadable versioned model registry, micro-batched
+// fold-in, cost-aware adaptive admission control, and operational metrics
+// (see internal/serve).
 //
 // Usage:
 //
 //	smfld -addr :8080 -model air=air.smfl -model fuel=fuel.smfl \
-//	      [-window 2ms] [-maxbatch 256] [-queue 1024] [-iters 100]
+//	      [-window 2ms] [-maxbatch 256] [-queue 1024] [-iters 100] \
+//	      [-keep-versions 3] [-admit-max-cost 65536] [-admit-min-cost 0] \
+//	      [-target-p95 250ms]
 //
 // Model files are the .smfl artifacts written by `smfl impute -savemodel`
 // (or core.Model.SaveFile). Files written since wire version 2 carry the
@@ -13,6 +16,20 @@
 // units; older files are served in normalized units.
 //
 //	curl -s localhost:8080/v1/models/air/impute -d '{"rows": [[39.9, 116.4, null, 57.0]]}'
+//
+// Hot reloads append a new version of a model; the last -keep-versions
+// versions stay pinnable via ?version=N and a bad reload is a one-call
+// revert:
+//
+//	curl -X POST localhost:8080/admin/models/air -d '{"path": "air-v2.smfl"}'
+//	curl -X POST localhost:8080/admin/models/air/rollback
+//
+// Under overload the daemon sheds with 429 + Retry-After instead of queuing
+// without bound: requests are admitted by projected row-cost (observed
+// cells) against an adaptive window that shrinks when the p95 batch latency
+// exceeds -target-p95 and regrows on recovery. /metrics serves JSON by
+// default and the Prometheus text exposition when the scraper asks for
+// text/plain.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
 // requests (pending micro-batches included), and exits.
@@ -76,6 +93,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 	queue := fs.Int("queue", 1024, "per-model pending request cap")
 	iters := fs.Int("iters", 100, "fold-in iteration cap per batch")
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown deadline")
+	keep := fs.Int("keep-versions", 3, "model versions retained per name for ?version= pinning and rollback")
+	admitMax := fs.Int64("admit-max-cost", 65536, "admission window ceiling in observed cells")
+	admitMin := fs.Int64("admit-min-cost", 0, "adaptive admission window floor (0 = max/16)")
+	targetP95 := fs.Duration("target-p95", 250*time.Millisecond, "p95 batch latency target steering the adaptive admission window")
 	var models modelFlags
 	fs.Var(&models, "model", "serve a model as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +109,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 	metrics := serve.NewMetrics()
 	registry := serve.NewRegistry(serve.Config{
 		Window: *window, MaxBatchRows: *maxBatch, QueueDepth: *queue, FoldInIters: *iters,
+		KeepVersions: *keep,
+		Admission: serve.AdmissionConfig{
+			MaxCost: *admitMax, MinCost: *admitMin, TargetP95: *targetP95,
+		},
 	}, metrics)
 	defer registry.Close()
 	for _, m := range models {

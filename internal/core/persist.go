@@ -3,7 +3,9 @@ package core
 import (
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"github.com/spatialmf/smfl/internal/mat"
@@ -122,7 +124,7 @@ func Load(r io.Reader) (*Model, error) {
 		}
 	}
 	cw := wire.Config
-	return &Model{
+	m := &Model{
 		Method: wire.Method,
 		Config: Config{
 			K: cw.K, Lambda: cw.Lambda, P: cw.P, MaxIter: cw.MaxIter,
@@ -132,7 +134,53 @@ func Load(r io.Reader) (*Model, error) {
 		},
 		L: wire.L, U: u, V: v, C: c, Norm: norm,
 		Objective: wire.Objective, Iters: wire.Iters, Converged: wire.Converged,
-	}, nil
+	}
+	if err := validateLoaded(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validateLoaded rejects wire images that decode but do not describe a
+// well-formed fitted model: inconsistent factor shapes, an SI width outside
+// the column range, landmark matrices that disagree with V, a stored K that
+// does not match the factors (FoldIn sizes its coefficient block from
+// Config.K), or non-finite payloads. A hostile or corrupted .smfl file must
+// be refused here rather than crash the serving layer later — the
+// FuzzReadModel target drives this.
+func validateLoaded(m *Model) error {
+	n, k := m.U.Dims()
+	kv, cols := m.V.Dims()
+	if n < 1 || k < 1 || cols < 1 {
+		return fmt.Errorf("core: load: degenerate factor shapes U %dx%d, V %dx%d", n, k, kv, cols)
+	}
+	if kv != k {
+		return fmt.Errorf("core: load: U has %d features, V has %d", k, kv)
+	}
+	if m.Config.K != k {
+		return fmt.Errorf("core: load: stored K=%d does not match %d-feature factors", m.Config.K, k)
+	}
+	if m.L < 0 || m.L > cols {
+		return fmt.Errorf("core: load: SI width %d outside [0, %d]", m.L, cols)
+	}
+	if m.C != nil {
+		ck, cl := m.C.Dims()
+		if ck != k || cl != m.L {
+			return fmt.Errorf("core: load: landmarks are %dx%d, want %dx%d", ck, cl, k, m.L)
+		}
+		if !m.C.IsFinite() {
+			return errors.New("core: load: landmark matrix has non-finite entries")
+		}
+	}
+	if !m.U.IsFinite() || !m.V.IsFinite() {
+		return errors.New("core: load: factors have non-finite entries")
+	}
+	for i, v := range m.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: load: objective[%d] is non-finite", i)
+		}
+	}
+	return nil
 }
 
 // SaveFile writes the model to a file path.

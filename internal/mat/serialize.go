@@ -42,9 +42,12 @@ func (m *Dense) UnmarshalBinary(data []byte) error {
 	}
 	rows := int(binary.LittleEndian.Uint32(data[4:]))
 	cols := int(binary.LittleEndian.Uint32(data[8:]))
-	want := 12 + 8*rows*cols
-	if len(data) != want {
-		return fmt.Errorf("mat: Dense payload %d bytes, want %d", len(data), want)
+	// Compare element counts, not byte counts: 8*rows*cols can overflow int64
+	// for hostile headers, wrapping the expected length onto the actual one
+	// and turning the bounds check into a huge allocation.
+	avail := uint64(len(data)-12) / 8
+	if uint64(len(data)-12)%8 != 0 || uint64(rows)*uint64(cols) != avail {
+		return fmt.Errorf("mat: Dense payload %d bytes, want %dx%d float64s", len(data), rows, cols)
 	}
 	m.rows, m.cols = rows, cols
 	m.data = make([]float64, rows*cols)
@@ -76,10 +79,11 @@ func (m *Mask) UnmarshalBinary(data []byte) error {
 	}
 	rows := int(binary.LittleEndian.Uint32(data[4:]))
 	cols := int(binary.LittleEndian.Uint32(data[8:]))
-	nwords := (rows*cols + 63) / 64
-	want := 12 + 8*nwords
-	if len(data) != want {
-		return fmt.Errorf("mat: Mask payload %d bytes, want %d", len(data), want)
+	// uint64 arithmetic for the same overflow reason as Dense above.
+	nwords := (uint64(rows)*uint64(cols) + 63) / 64
+	avail := uint64(len(data)-12) / 8
+	if uint64(len(data)-12)%8 != 0 || nwords != avail {
+		return fmt.Errorf("mat: Mask payload %d bytes, want %dx%d bits", len(data), rows, cols)
 	}
 	m.rows, m.cols = rows, cols
 	m.words = make([]uint64, nwords)

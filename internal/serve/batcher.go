@@ -79,6 +79,9 @@ func (b *batcher) Submit(ctx context.Context, rows *mat.Dense, mask *mat.Mask) (
 	select {
 	case b.in <- req:
 		b.mu.RUnlock()
+		if b.metrics != nil {
+			b.metrics.QueueAdd(1)
+		}
 	default:
 		b.mu.RUnlock()
 		return foldResult{}, ErrOverloaded
@@ -149,6 +152,7 @@ func (b *batcher) flush(batch []*foldRequest) {
 	}
 	if b.metrics != nil {
 		b.metrics.ObserveBatch(total)
+		b.metrics.QueueAdd(-len(batch))
 	}
 	stacked := mat.VStack(blocks...)
 	mask := mat.VStackMasks(masks...)

@@ -153,8 +153,8 @@ func TestBatcherContextCancel(t *testing.T) {
 }
 
 func TestRegistryLifecycle(t *testing.T) {
-	model, _ := smallModel(t)
-	reg := NewRegistry(Config{Window: time.Millisecond}, nil)
+	model, x := smallModel(t)
+	reg := NewRegistry(Config{Window: time.Millisecond, KeepVersions: 2}, nil)
 	defer reg.Close()
 
 	if _, err := reg.Register("", model, ""); err == nil {
@@ -167,28 +167,105 @@ func TestRegistryLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e, ok := reg.Get("m"); !ok || e != first {
+	if e, ok := reg.Get("m"); !ok || e != first || e.Version != 1 {
 		t.Fatal("Get did not return the registered entry")
 	}
 	if reg.Len() != 1 {
 		t.Fatalf("Len = %d", reg.Len())
 	}
-	// Hot swap replaces the entry pointer and drains the old batcher.
+	// Hot swap appends a new version and routes unpinned requests to it; the
+	// displaced version stays retained (and live) for pinning and rollback.
 	second, err := reg.Register("m", model, "b.smfl")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e, _ := reg.Get("m"); e != second || e.Path != "b.smfl" {
+	if e, _ := reg.Get("m"); e != second || e.Path != "b.smfl" || e.Version != 2 {
 		t.Fatal("hot swap did not install the new entry")
 	}
-	if _, err := first.batcher.Submit(context.Background(), mat.NewDense(1, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
-		t.Fatalf("old batcher still accepting after swap: %v", err)
+	if e, ok := reg.GetVersion("m", 1); !ok || e != first {
+		t.Fatal("previous version not pinnable after swap")
 	}
+	if _, err := first.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); err != nil {
+		t.Fatalf("retained version stopped serving after swap: %v", err)
+	}
+	// A third version pushes the chain past KeepVersions=2: version 1 is
+	// evicted and its batcher drained.
+	third, err := reg.Register("m", model, "c.smfl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.GetVersion("m", 1); ok {
+		t.Fatal("evicted version still pinnable")
+	}
+	if _, err := first.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("evicted batcher still accepting: %v", err)
+	}
+	if versions, active, ok := reg.Versions("m"); !ok || active != 3 || len(versions) != 2 || versions[0] != 2 || versions[1] != 3 {
+		t.Fatalf("Versions = %v active %d ok %v", versions, active, ok)
+	}
+
+	// Rollback reverts the active pointer; the rolled-back-from version stays
+	// retained so the revert itself is revertible.
+	rolled, err := reg.Rollback("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled != second {
+		t.Fatal("rollback did not restore the previous version")
+	}
+	if e, _ := reg.Get("m"); e != second {
+		t.Fatal("Get does not follow the rollback")
+	}
+	if e, ok := reg.GetVersion("m", 3); !ok || e != third {
+		t.Fatal("rolled-back-from version no longer pinnable")
+	}
+	if _, err := reg.Rollback("m"); !errors.Is(err, ErrNoPreviousVersion) {
+		t.Fatalf("rollback past the oldest version: %v", err)
+	}
+	if _, err := reg.Rollback("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("rollback on unknown model: %v", err)
+	}
+
 	if !reg.Remove("m") || reg.Remove("m") {
 		t.Fatal("Remove bookkeeping wrong")
 	}
 	if reg.Len() != 0 {
 		t.Fatalf("Len after remove = %d", reg.Len())
+	}
+	// Remove drains every retained version, not just the active one.
+	for i, e := range []*Entry{second, third} {
+		if _, err := e.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
+			t.Fatalf("version %d batcher still accepting after Remove: %v", i+2, err)
+		}
+	}
+}
+
+func TestRegistryRollbackThenRegisterEvicts(t *testing.T) {
+	model, _ := smallModel(t)
+	reg := NewRegistry(Config{Window: time.Millisecond, KeepVersions: 2}, NewMetrics())
+	defer reg.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := reg.Register("m", model, "p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Rollback("m"); err != nil { // active: v1
+		t.Fatal(err)
+	}
+	// Register after a rollback: v3 becomes active, chain [v2, v3] after
+	// eviction (oldest goes first and the active index stays correct).
+	e, err := reg.Register("m", model, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 3 {
+		t.Fatalf("version after rollback+register = %d, want 3", e.Version)
+	}
+	if got, _ := reg.Get("m"); got != e {
+		t.Fatal("active entry wrong after rollback+register")
+	}
+	if versions, active, _ := reg.Versions("m"); active != 3 || len(versions) != 2 || versions[0] != 2 {
+		t.Fatalf("chain %v active %d", versions, active)
 	}
 }
 

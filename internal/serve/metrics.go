@@ -49,13 +49,14 @@ type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
 	Mean   float64   `json:"mean"`
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
 	counts := make([]uint64, len(h.counts))
 	copy(counts, h.counts)
-	return HistogramSnapshot{Bounds: h.bounds, Counts: counts, Count: h.n, Mean: h.mean()}
+	return HistogramSnapshot{Bounds: h.bounds, Counts: counts, Count: h.n, Sum: h.sum, Mean: h.mean()}
 }
 
 type endpointStats struct {
@@ -67,20 +68,25 @@ type endpointStats struct {
 // and latency histograms, the fold-in batch-size distribution, and rows/sec
 // throughput. All methods are goroutine-safe.
 type Metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	inflight  int64
-	endpoints map[string]*endpointStats
-	batch     *histogram
-	rows      uint64
+	mu            sync.Mutex
+	start         time.Time
+	inflight      int64
+	endpoints     map[string]*endpointStats
+	batch         *histogram
+	rows          uint64
+	queueDepth    int64
+	admitRejects  uint64
+	shedCost      uint64
+	modelVersions map[string]int
 }
 
 // NewMetrics returns an empty Metrics whose rows/sec clock starts now.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:     time.Now(),
-		endpoints: make(map[string]*endpointStats),
-		batch:     newHistogram(batchBuckets),
+		start:         time.Now(),
+		endpoints:     make(map[string]*endpointStats),
+		batch:         newHistogram(batchBuckets),
+		modelVersions: make(map[string]int),
 	}
 }
 
@@ -124,6 +130,51 @@ func (m *Metrics) ObserveBatch(rows int) {
 	m.mu.Unlock()
 }
 
+// QueueAdd moves the pending fold-in request gauge by delta (batchers call
+// +1 on enqueue, −n when a flush answers n requests).
+func (m *Metrics) QueueAdd(delta int) {
+	m.mu.Lock()
+	m.queueDepth += int64(delta)
+	if m.queueDepth < 0 {
+		m.queueDepth = 0
+	}
+	m.mu.Unlock()
+}
+
+// QueueDepth returns the pending fold-in request gauge.
+func (m *Metrics) QueueDepth() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queueDepth
+}
+
+// AdmissionRejected counts one shed request (admission window or queue full)
+// and accumulates the cost it would have put in flight.
+func (m *Metrics) AdmissionRejected(cost int64) {
+	if cost < 0 {
+		cost = 0
+	}
+	m.mu.Lock()
+	m.admitRejects++
+	m.shedCost += uint64(cost)
+	m.mu.Unlock()
+}
+
+// SetModelVersion records the active version of a served model (a gauge on
+// /metrics; rollbacks move it backwards).
+func (m *Metrics) SetModelVersion(name string, version int) {
+	m.mu.Lock()
+	m.modelVersions[name] = version
+	m.mu.Unlock()
+}
+
+// DropModel removes a model's version gauge after unregistration.
+func (m *Metrics) DropModel(name string) {
+	m.mu.Lock()
+	delete(m.modelVersions, name)
+	m.mu.Unlock()
+}
+
 // EndpointSnapshot is the JSON image of one endpoint's counters.
 type EndpointSnapshot struct {
 	Count     uint64            `json:"count"`
@@ -131,7 +182,11 @@ type EndpointSnapshot struct {
 	LatencyMS HistogramSnapshot `json:"latency_ms"`
 }
 
-// Snapshot is the JSON document served at /metrics.
+// Snapshot is the document served at /metrics — as JSON by default and as
+// Prometheus text exposition under content negotiation (see WritePrometheus).
+// The admission gauges are filled in by the HTTP handler from the live
+// Admission controller; both views render the same Snapshot value, so their
+// counters are identical by construction (golden-tested).
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Inflight      int64                       `json:"inflight"`
@@ -140,6 +195,13 @@ type Snapshot struct {
 	MeanBatchSize float64                     `json:"mean_batch_size"`
 	RowsTotal     uint64                      `json:"rows_total"`
 	RowsPerSecond float64                     `json:"rows_per_second"`
+
+	QueueDepth            int64          `json:"queue_depth"`
+	AdmissionRejections   uint64         `json:"admission_rejections"`
+	ShedCostTotal         uint64         `json:"shed_cost_total"`
+	AdmissionWindowCost   int64          `json:"admission_window_cost"`
+	AdmissionInflightCost int64          `json:"admission_inflight_cost"`
+	ModelVersions         map[string]int `json:"model_versions"`
 }
 
 // Snapshot returns a consistent copy of all counters.
@@ -158,13 +220,21 @@ func (m *Metrics) Snapshot() Snapshot {
 	if math.IsNaN(rps) || math.IsInf(rps, 0) {
 		rps = 0
 	}
+	versions := make(map[string]int, len(m.modelVersions))
+	for name, v := range m.modelVersions {
+		versions[name] = v
+	}
 	return Snapshot{
-		UptimeSeconds: elapsed,
-		Inflight:      m.inflight,
-		Endpoints:     eps,
-		Batch:         m.batch.snapshot(),
-		MeanBatchSize: m.batch.mean(),
-		RowsTotal:     m.rows,
-		RowsPerSecond: rps,
+		UptimeSeconds:       elapsed,
+		Inflight:            m.inflight,
+		Endpoints:           eps,
+		Batch:               m.batch.snapshot(),
+		MeanBatchSize:       m.batch.mean(),
+		RowsTotal:           m.rows,
+		RowsPerSecond:       rps,
+		QueueDepth:          m.queueDepth,
+		AdmissionRejections: m.admitRejects,
+		ShedCostTotal:       m.shedCost,
+		ModelVersions:       versions,
 	}
 }

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// (format version 0.0.4, the one every scraper speaks).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders snap in the Prometheus text exposition format:
+// HELP/TYPE headers, cumulative histogram buckets with a +Inf bound, and
+// label sets emitted in sorted order so the output is deterministic (the
+// golden test relies on that). Latency histograms are converted from the
+// internal milliseconds to Prometheus-conventional seconds.
+func WritePrometheus(w io.Writer, snap Snapshot) {
+	family(w, "smfld_uptime_seconds", "gauge", "Seconds since the metrics clock started.")
+	sample(w, "smfld_uptime_seconds", "", promFloat(snap.UptimeSeconds))
+	family(w, "smfld_inflight_requests", "gauge", "Requests currently being handled.")
+	sample(w, "smfld_inflight_requests", "", strconv.FormatInt(snap.Inflight, 10))
+
+	endpoints := make([]string, 0, len(snap.Endpoints))
+	for name := range snap.Endpoints {
+		endpoints = append(endpoints, name)
+	}
+	sort.Strings(endpoints)
+
+	family(w, "smfld_requests_total", "counter", "Requests handled, by endpoint.")
+	for _, name := range endpoints {
+		sample(w, "smfld_requests_total", endpointLabel(name), strconv.FormatUint(snap.Endpoints[name].Count, 10))
+	}
+	family(w, "smfld_request_errors_total", "counter", "Requests that ended with a 4xx/5xx status, by endpoint.")
+	for _, name := range endpoints {
+		sample(w, "smfld_request_errors_total", endpointLabel(name), strconv.FormatUint(snap.Endpoints[name].Errors, 10))
+	}
+	family(w, "smfld_request_latency_seconds", "histogram", "Request latency, by endpoint.")
+	for _, name := range endpoints {
+		histogramSamples(w, "smfld_request_latency_seconds", endpointLabel(name), snap.Endpoints[name].LatencyMS, 1e-3)
+	}
+
+	family(w, "smfld_batch_rows", "histogram", "Rows per coalesced FoldIn flush.")
+	histogramSamples(w, "smfld_batch_rows", "", snap.Batch, 1)
+	family(w, "smfld_rows_total", "counter", "Rows folded in.")
+	sample(w, "smfld_rows_total", "", strconv.FormatUint(snap.RowsTotal, 10))
+
+	family(w, "smfld_queue_depth", "gauge", "Fold-in requests pending in model batchers.")
+	sample(w, "smfld_queue_depth", "", strconv.FormatInt(snap.QueueDepth, 10))
+	family(w, "smfld_admission_rejections_total", "counter", "Requests shed with 429 (admission window or queue full).")
+	sample(w, "smfld_admission_rejections_total", "", strconv.FormatUint(snap.AdmissionRejections, 10))
+	family(w, "smfld_admission_shed_cost_total", "counter", "Observed-cell cost of shed requests.")
+	sample(w, "smfld_admission_shed_cost_total", "", strconv.FormatUint(snap.ShedCostTotal, 10))
+	family(w, "smfld_admission_window_cost", "gauge", "Current adaptive admission window capacity in observed cells.")
+	sample(w, "smfld_admission_window_cost", "", strconv.FormatInt(snap.AdmissionWindowCost, 10))
+	family(w, "smfld_admission_inflight_cost", "gauge", "Admitted observed-cell cost currently in flight.")
+	sample(w, "smfld_admission_inflight_cost", "", strconv.FormatInt(snap.AdmissionInflightCost, 10))
+
+	models := make([]string, 0, len(snap.ModelVersions))
+	for name := range snap.ModelVersions {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	family(w, "smfld_model_version", "gauge", "Active registry version of each served model.")
+	for _, name := range models {
+		sample(w, "smfld_model_version", fmt.Sprintf("model=%q", name), strconv.Itoa(snap.ModelVersions[name]))
+	}
+}
+
+func family(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func sample(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+}
+
+func endpointLabel(name string) string {
+	return fmt.Sprintf("endpoint=%q", name)
+}
+
+// histogramSamples emits the cumulative _bucket series (upper bounds scaled
+// by scale), the +Inf bucket, _sum, and _count for one label set.
+func histogramSamples(w io.Writer, name, labels string, h HistogramSnapshot, scale float64) {
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		sample(w, name+"_bucket", joinLabels(labels, `le="`+promFloat(bound*scale)+`"`), strconv.FormatUint(cum, 10))
+	}
+	sample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatUint(h.Count, 10))
+	sample(w, name+"_sum", labels, promFloat(h.Sum*scale))
+	sample(w, name+"_count", labels, strconv.FormatUint(h.Count, 10))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

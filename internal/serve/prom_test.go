@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot is a fully deterministic Snapshot (no clocks involved) so
+// the rendered exposition is byte-stable across runs and machines.
+func goldenSnapshot() Snapshot {
+	return Snapshot{
+		UptimeSeconds: 12.5,
+		Inflight:      2,
+		Endpoints: map[string]EndpointSnapshot{
+			"impute": {
+				Count:  10,
+				Errors: 2,
+				LatencyMS: HistogramSnapshot{
+					Bounds: []float64{1, 10, 100},
+					Counts: []uint64{3, 5, 1, 1},
+					Count:  10,
+					Sum:    185.5,
+					Mean:   18.55,
+				},
+			},
+			"metrics": {
+				Count:  4,
+				Errors: 0,
+				LatencyMS: HistogramSnapshot{
+					Bounds: []float64{1, 10, 100},
+					Counts: []uint64{4, 0, 0, 0},
+					Count:  4,
+					Sum:    1.25,
+					Mean:   0.3125,
+				},
+			},
+		},
+		Batch: HistogramSnapshot{
+			Bounds: []float64{1, 2, 4},
+			Counts: []uint64{1, 2, 3, 1},
+			Count:  7,
+			Sum:    23,
+			Mean:   23.0 / 7,
+		},
+		MeanBatchSize:         23.0 / 7,
+		RowsTotal:             23,
+		RowsPerSecond:         1.84,
+		QueueDepth:            3,
+		AdmissionRejections:   5,
+		ShedCostTotal:         640,
+		AdmissionWindowCost:   32768,
+		AdmissionInflightCost: 96,
+		ModelVersions:         map[string]int{"air": 3, "fuel": 1},
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition output — metric names,
+// labels, ordering, and float formatting are a scrape contract, so any
+// change must be deliberate (run with -update to accept one).
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, goldenSnapshot())
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run go test -run TestPrometheusGolden -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	validatePromText(t, buf.String())
+}
+
+var (
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$`)
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	promLabelRe  = regexp.MustCompile(`le="([^"]*)"`)
+)
+
+// validatePromText enforces the text exposition rules a `promtool check
+// metrics` run would: every line is a well-formed HELP/TYPE comment or
+// sample, every sample's family is TYPE-declared first, histogram buckets
+// are cumulative with a +Inf bound matching _count, and the body ends with a
+// newline.
+func validatePromText(t *testing.T, text string) {
+	t.Helper()
+	if !strings.HasSuffix(text, "\n") {
+		t.Error("exposition does not end with a newline")
+	}
+	typed := map[string]string{}
+	type histState struct {
+		lastLe  float64
+		lastCum uint64
+		infSeen bool
+		count   uint64
+		labels  string
+	}
+	hists := map[string]*histState{} // keyed by family + non-le labels
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promHelpRe.MatchString(line) && !promTypeRe.MatchString(line) {
+				t.Errorf("line %d: malformed comment %q", n, line)
+			}
+			if m := promTypeRe.FindStringSubmatch(line); m != nil {
+				if _, dup := typed[m[1]]; dup {
+					t.Errorf("line %d: duplicate TYPE for %s", n, m[1])
+				}
+				typed[m[1]] = m[2]
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: malformed sample %q", n, line)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		typ, ok := typed[family]
+		if !ok {
+			t.Errorf("line %d: sample %s has no TYPE declaration", n, name)
+			continue
+		}
+		if typ == "counter" || typ == "gauge" {
+			if strings.HasSuffix(name, "_bucket") {
+				t.Errorf("line %d: %s sample %s looks like a histogram series", n, typ, name)
+			}
+		}
+		if typ == "counter" {
+			if v, err := strconv.ParseFloat(value, 64); err != nil || v < 0 {
+				t.Errorf("line %d: counter %s has value %q", n, name, value)
+			}
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			leMatch := promLabelRe.FindStringSubmatch(labels)
+			if leMatch == nil {
+				t.Errorf("line %d: histogram bucket without le label: %q", n, line)
+				continue
+			}
+			key := family + "|" + promLabelRe.ReplaceAllString(labels, "")
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLe: -1e308}
+				hists[key] = st
+			}
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Errorf("line %d: bucket value %q not an integer", n, value)
+				continue
+			}
+			if cum < st.lastCum {
+				t.Errorf("line %d: bucket counts not cumulative (%d after %d)", n, cum, st.lastCum)
+			}
+			st.lastCum = cum
+			if leMatch[1] == "+Inf" {
+				st.infSeen = true
+			} else {
+				le, err := strconv.ParseFloat(leMatch[1], 64)
+				if err != nil || le <= st.lastLe {
+					t.Errorf("line %d: bucket bounds not increasing at le=%q", n, leMatch[1])
+				}
+				st.lastLe = le
+			}
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_count") {
+			key := family + "|" + labels
+			if st := hists[key]; st != nil {
+				if cnt, err := strconv.ParseUint(value, 10, 64); err != nil || cnt != st.lastCum {
+					t.Errorf("line %d: %s_count %s != +Inf bucket %d", n, family, value, st.lastCum)
+				}
+			}
+		}
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			t.Errorf("histogram %s has no +Inf bucket", key)
+		}
+	}
+}
+
+// TestPrometheusMatchesJSON drives a live Metrics through a fixed sequence
+// and asserts the text exposition and the JSON snapshot report identical
+// counters — the two views must never drift.
+func TestPrometheusMatchesJSON(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 3; i++ {
+		m.BeginRequest()
+		m.EndRequest("impute", time.Duration(i+1)*time.Millisecond, i == 2)
+	}
+	m.BeginRequest()
+	m.EndRequest("metrics", 500*time.Microsecond, false)
+	m.ObserveBatch(4)
+	m.ObserveBatch(2)
+	m.QueueAdd(2)
+	m.AdmissionRejected(12)
+	m.AdmissionRejected(30)
+	m.SetModelVersion("air", 2)
+
+	snap := m.Snapshot()
+	snap.AdmissionWindowCost = 1024
+	snap.AdmissionInflightCost = 6
+	var buf bytes.Buffer
+	WritePrometheus(&buf, snap)
+	validatePromText(t, buf.String())
+
+	samples := map[string]float64{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	expect := map[string]float64{
+		`smfld_requests_total{endpoint="impute"}`:                float64(snap.Endpoints["impute"].Count),
+		`smfld_requests_total{endpoint="metrics"}`:               float64(snap.Endpoints["metrics"].Count),
+		`smfld_request_errors_total{endpoint="impute"}`:          float64(snap.Endpoints["impute"].Errors),
+		`smfld_request_errors_total{endpoint="metrics"}`:         float64(snap.Endpoints["metrics"].Errors),
+		`smfld_request_latency_seconds_count{endpoint="impute"}`: float64(snap.Endpoints["impute"].LatencyMS.Count),
+		`smfld_rows_total`:                 float64(snap.RowsTotal),
+		`smfld_batch_rows_count`:           float64(snap.Batch.Count),
+		`smfld_batch_rows_sum`:             snap.Batch.Sum,
+		`smfld_queue_depth`:                float64(snap.QueueDepth),
+		`smfld_admission_rejections_total`: float64(snap.AdmissionRejections),
+		`smfld_admission_shed_cost_total`:  float64(snap.ShedCostTotal),
+		`smfld_admission_window_cost`:      float64(snap.AdmissionWindowCost),
+		`smfld_admission_inflight_cost`:    float64(snap.AdmissionInflightCost),
+		`smfld_model_version{model="air"}`: float64(snap.ModelVersions["air"]),
+		`smfld_inflight_requests`:          float64(snap.Inflight),
+	}
+	for key, want := range expect {
+		got, ok := samples[key]
+		if !ok {
+			t.Errorf("text exposition missing %s", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v in text, %v in JSON snapshot", key, got, want)
+		}
+	}
+	// Concrete cross-checks against the driven sequence, so a bug that
+	// corrupts both views identically still fails.
+	if samples[`smfld_requests_total{endpoint="impute"}`] != 3 {
+		t.Error("impute requests_total != 3")
+	}
+	if samples[`smfld_request_errors_total{endpoint="impute"}`] != 1 {
+		t.Error("impute errors_total != 1")
+	}
+	if samples[`smfld_rows_total`] != 6 {
+		t.Error("rows_total != 6")
+	}
+	if samples[`smfld_admission_rejections_total`] != 2 || samples[`smfld_admission_shed_cost_total`] != 42 {
+		t.Error("admission shed counters wrong")
+	}
+}

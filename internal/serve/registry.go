@@ -1,10 +1,12 @@
 // Package serve turns fitted SMFL models into an online imputation service:
-// a hot-reloadable model registry, a micro-batching fold-in queue per model,
-// and the HTTP layer of cmd/smfld. It is standard-library only, like the
-// rest of the repository.
+// a hot-reloadable versioned model registry, a micro-batching fold-in queue
+// per model version, cost-aware adaptive admission control, and the HTTP
+// layer of cmd/smfld. It is standard-library only, like the rest of the
+// repository.
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,12 +16,23 @@ import (
 	"github.com/spatialmf/smfl/internal/dataset"
 )
 
+// Registry errors surfaced to the admin handlers.
+var (
+	// ErrUnknownModel is returned for operations on an unregistered name.
+	ErrUnknownModel = errors.New("serve: model not registered")
+	// ErrNoPreviousVersion is returned by Rollback when the active version
+	// is already the oldest retained one.
+	ErrNoPreviousVersion = errors.New("serve: no previous version to roll back to")
+)
+
 // Config tunes the serving layer. Zero values take the defaults below.
 type Config struct {
-	Window       time.Duration // batch coalescing window (default 2ms)
-	MaxBatchRows int           // flush once this many rows are pending (default 256)
-	QueueDepth   int           // per-model pending-request cap (default 1024)
-	FoldInIters  int           // FoldIn iteration cap per batch (default 100)
+	Window       time.Duration   // batch coalescing window (default 2ms)
+	MaxBatchRows int             // flush once this many rows are pending (default 256)
+	QueueDepth   int             // per-model pending-request cap (default 1024)
+	FoldInIters  int             // FoldIn iteration cap per batch (default 100)
+	KeepVersions int             // model versions retained per name for rollback/pinning (default 3)
+	Admission    AdmissionConfig // cost-aware admission control (see AdmissionConfig)
 }
 
 func (c Config) withDefaults() Config {
@@ -35,42 +48,63 @@ func (c Config) withDefaults() Config {
 	if c.FoldInIters <= 0 {
 		c.FoldInIters = 100
 	}
+	if c.KeepVersions <= 0 {
+		c.KeepVersions = 3
+	}
+	c.Admission = c.Admission.withDefaults()
 	return c
 }
 
-// Entry is one served model: the immutable fitted Model, its training
-// normalization (nil when the file predates wire v2), and the micro-batcher
-// that owns its FoldIn calls. Entries are replaced wholesale on hot reload,
-// never mutated.
+// Entry is one served model version: the immutable fitted Model, its
+// training normalization (nil when the file predates wire v2), and the
+// micro-batcher that owns its FoldIn calls. Entries are never mutated after
+// registration — hot reload appends a new Entry and moves the active
+// pointer, so an in-flight request holding an Entry can never observe a torn
+// model.
 type Entry struct {
 	Name     string
 	Path     string
+	Version  int // monotonically increasing per name, starting at 1
 	Model    *core.Model
 	Norm     *dataset.Normalizer
 	LoadedAt time.Time
 	batcher  *batcher
 }
 
-// Registry is the RWMutex-guarded name → Entry map behind the server. Reads
-// (every impute request) take the read lock only long enough to fetch the
-// entry pointer; loads and removals swap pointers and drain the displaced
-// batcher outside the lock.
+// modelVersions is the per-name version chain: entries ascending by Version
+// with active indexing the one unpinned requests route to. Rollback moves
+// active backwards without discarding the newer entries, so a bad reload can
+// be rolled back and, if it turns out fine after all, rolled forward again
+// by re-registering (versions are only evicted when a Register pushes the
+// chain past KeepVersions).
+type modelVersions struct {
+	entries []*Entry
+	active  int
+	nextVer int
+}
+
+// Registry is the RWMutex-guarded name → version-chain map behind the
+// server. Reads (every impute request) take the read lock only long enough
+// to fetch an entry pointer; loads, rollbacks and removals swap indices and
+// close displaced batchers outside the lock.
 type Registry struct {
 	cfg     Config
 	metrics *Metrics
 
-	mu      sync.RWMutex
-	entries map[string]*Entry
+	mu     sync.RWMutex
+	models map[string]*modelVersions
 }
 
 // NewRegistry returns an empty registry; metrics may be nil.
 func NewRegistry(cfg Config, metrics *Metrics) *Registry {
-	return &Registry{cfg: cfg.withDefaults(), metrics: metrics, entries: make(map[string]*Entry)}
+	return &Registry{cfg: cfg.withDefaults(), metrics: metrics, models: make(map[string]*modelVersions)}
 }
 
-// Register installs (or hot-swaps) a fitted model under name. In-flight
-// requests against a replaced entry finish on the old model; the old batcher
-// is drained before Register returns.
+// Register installs a fitted model as the next version of name and makes it
+// active. Older versions stay registered (pinnable via GetVersion, restorable
+// via Rollback) until the chain exceeds KeepVersions, at which point the
+// oldest inactive entries are evicted and their batchers drained. In-flight
+// requests against any displaced entry finish on the model they started with.
 func (r *Registry) Register(name string, model *core.Model, path string) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty model name")
@@ -98,11 +132,27 @@ func (r *Registry) Register(name string, model *core.Model, path string) (*Entry
 		batcher:  newBatcher(model, r.cfg, r.metrics),
 	}
 	r.mu.Lock()
-	old := r.entries[name]
-	r.entries[name] = entry
+	mv := r.models[name]
+	if mv == nil {
+		mv = &modelVersions{nextVer: 1}
+		r.models[name] = mv
+	}
+	entry.Version = mv.nextVer
+	mv.nextVer++
+	mv.entries = append(mv.entries, entry)
+	mv.active = len(mv.entries) - 1
+	var evicted []*Entry
+	for len(mv.entries) > r.cfg.KeepVersions && mv.active > 0 {
+		evicted = append(evicted, mv.entries[0])
+		mv.entries = mv.entries[1:]
+		mv.active--
+	}
 	r.mu.Unlock()
-	if old != nil {
-		old.batcher.Close()
+	if r.metrics != nil {
+		r.metrics.SetModelVersion(name, entry.Version)
+	}
+	for _, e := range evicted {
+		e.batcher.Close()
 	}
 	return entry, nil
 }
@@ -116,53 +166,125 @@ func (r *Registry) LoadFile(name, path string) (*Entry, error) {
 	return r.Register(name, model, path)
 }
 
-// Get returns the entry serving name, or false if it is not registered.
+// Rollback makes the version preceding the active one active again — the
+// one-call revert for a bad hot reload. The rolled-back-from version stays
+// registered (still pinnable) until evicted by a later Register.
+func (r *Registry) Rollback(name string) (*Entry, error) {
+	r.mu.Lock()
+	mv := r.models[name]
+	if mv == nil {
+		r.mu.Unlock()
+		return nil, ErrUnknownModel
+	}
+	if mv.active == 0 {
+		r.mu.Unlock()
+		return nil, ErrNoPreviousVersion
+	}
+	mv.active--
+	e := mv.entries[mv.active]
+	r.mu.Unlock()
+	if r.metrics != nil {
+		r.metrics.SetModelVersion(name, e.Version)
+	}
+	return e, nil
+}
+
+// Get returns the active entry serving name, or false if it is not
+// registered.
 func (r *Registry) Get(name string) (*Entry, bool) {
 	r.mu.RLock()
-	e, ok := r.entries[name]
-	r.mu.RUnlock()
-	return e, ok
+	defer r.mu.RUnlock()
+	mv := r.models[name]
+	if mv == nil {
+		return nil, false
+	}
+	return mv.entries[mv.active], true
 }
 
-// Remove unregisters name, draining its batcher. It reports whether the
-// model existed.
+// GetVersion returns a specific retained version of name (the ?version= pin
+// for A/B routing), or false if that version is not retained.
+func (r *Registry) GetVersion(name string, version int) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	mv := r.models[name]
+	if mv == nil {
+		return nil, false
+	}
+	for _, e := range mv.entries {
+		if e.Version == version {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Versions returns the retained version numbers for name (ascending) and the
+// active version.
+func (r *Registry) Versions(name string) (versions []int, active int, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	mv := r.models[name]
+	if mv == nil {
+		return nil, 0, false
+	}
+	versions = make([]int, len(mv.entries))
+	for i, e := range mv.entries {
+		versions[i] = e.Version
+	}
+	return versions, mv.entries[mv.active].Version, true
+}
+
+// Remove unregisters name, draining the batchers of every retained version.
+// It reports whether the model existed.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
-	e, ok := r.entries[name]
-	delete(r.entries, name)
+	mv := r.models[name]
+	delete(r.models, name)
 	r.mu.Unlock()
-	if ok {
+	if mv == nil {
+		return false
+	}
+	if r.metrics != nil {
+		r.metrics.DropModel(name)
+	}
+	for _, e := range mv.entries {
 		e.batcher.Close()
 	}
-	return ok
+	return true
 }
 
-// Entries returns the current entries sorted by name.
+// Entries returns the active entries sorted by name.
 func (r *Registry) Entries() []*Entry {
 	r.mu.RLock()
-	out := make([]*Entry, 0, len(r.entries))
-	for _, e := range r.entries {
-		out = append(out, e)
+	out := make([]*Entry, 0, len(r.models))
+	for _, mv := range r.models {
+		out = append(out, mv.entries[mv.active])
 	}
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Len returns the number of registered models.
+// Len returns the number of registered model names.
 func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.entries)
+	return len(r.models)
 }
 
-// Close drains every batcher; the registry is unusable afterwards.
+// Close drains every batcher of every version; the registry is unusable
+// afterwards.
 func (r *Registry) Close() {
 	r.mu.Lock()
-	entries := r.entries
-	r.entries = make(map[string]*Entry)
+	models := r.models
+	r.models = make(map[string]*modelVersions)
 	r.mu.Unlock()
-	for _, e := range entries {
-		e.batcher.Close()
+	for name, mv := range models {
+		if r.metrics != nil {
+			r.metrics.DropModel(name)
+		}
+		for _, e := range mv.entries {
+			e.batcher.Close()
+		}
 	}
 }

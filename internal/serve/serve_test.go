@@ -10,7 +10,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -396,5 +399,292 @@ func TestServerAdminLoadReloadRemove(t *testing.T) {
 	}
 	if _, resp := postImpute(t, client, ts.URL+"/v1/models/fuel/impute", imputeRequest{Rows: [][]*float64{cells}}); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("impute after delete: status %d", resp.StatusCode)
+	}
+}
+
+// fullRow builds a fully observed request row from orig's given row.
+func fullRow(orig *mat.Dense, row int) []*float64 {
+	_, cols := orig.Dims()
+	cells := make([]*float64, cols)
+	for j := 0; j < cols; j++ {
+		v := orig.At(row, j)
+		cells[j] = &v
+	}
+	return cells
+}
+
+// postRaw posts an impute request and returns the response plus its decoded
+// JSON body as a generic map (postImpute only decodes 200s).
+func postRaw(t *testing.T, client *http.Client, url string, req imputeRequest) (*http.Response, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	doc := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("response body is not JSON: %v", err)
+	}
+	return resp, doc
+}
+
+// checkOverloaded asserts the shared 429 contract: status, a Retry-After
+// header of at least one whole second, and the single error body shape with a
+// matching retry hint. It returns the header value.
+func checkOverloaded(t *testing.T, resp *http.Response, doc map[string]any) int {
+	t.Helper()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	header := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(header)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After header %q, want an integer >= 1", header)
+	}
+	if len(doc) != 2 {
+		t.Fatalf("429 body has keys %v, want exactly {error, retry_after_seconds}", doc)
+	}
+	msg, _ := doc["error"].(string)
+	if msg == "" {
+		t.Fatalf("429 body missing error: %v", doc)
+	}
+	hint, ok := doc["retry_after_seconds"].(float64)
+	if !ok || int(hint) != secs {
+		t.Fatalf("retry_after_seconds %v does not match Retry-After header %d", doc["retry_after_seconds"], secs)
+	}
+	return secs
+}
+
+// TestServerOverloadShedsAndRecovers drives the two shed paths end to end:
+// a synthetic overload against a tiny admission window must answer 429 with
+// Retry-After while the parked request completes normally, service must
+// recover once the window drains, and a stuffed model queue must shed with
+// the identical body shape.
+func TestServerOverloadShedsAndRecovers(t *testing.T) {
+	path, orig, tail := fixture(t)
+	metrics := NewMetrics()
+	// A window that fits one full-row request (cost 6 of 8) but not two, a
+	// long coalescing window to park the first request in flight, and an
+	// adaptation cadence pushed out past the test so the window stays put.
+	registry := NewRegistry(Config{
+		Window: 250 * time.Millisecond,
+		Admission: AdmissionConfig{
+			MaxCost: 8, MinCost: 8,
+			TargetP95: time.Hour, AdaptEvery: time.Hour,
+		},
+	}, metrics)
+	defer registry.Close()
+	if _, err := registry.LoadFile("air", path); err != nil {
+		t.Fatal(err)
+	}
+	// A second model whose batcher is replaced (before any traffic) with one
+	// that has no capacity and no flush goroutine, so Submit deterministically
+	// reports a full queue.
+	stuffed, err := registry.LoadFile("stuffed", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuffed.batcher.Close()
+	stuffed.batcher = &batcher{in: make(chan *foldRequest)}
+
+	srv := NewServer(registry, metrics)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Park one admitted request inside the coalescing window.
+	blocked := make(chan int, 1)
+	go func() {
+		_, resp := postImpute(t, client, ts.URL+"/v1/models/air/impute", imputeRequest{Rows: [][]*float64{fullRow(orig, tail)}})
+		blocked <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, admitted := srv.Admission().State(); admitted > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("parked request never admitted")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Overload wave: every request must shed with the full 429 contract.
+	const waveSize = 5
+	type shed struct {
+		resp *http.Response
+		doc  map[string]any
+	}
+	sheds := make(chan shed, waveSize)
+	var wave sync.WaitGroup
+	for i := 0; i < waveSize; i++ {
+		wave.Add(1)
+		go func(i int) {
+			defer wave.Done()
+			resp, doc := postRaw(t, client, ts.URL+"/v1/models/air/impute", imputeRequest{Rows: [][]*float64{fullRow(orig, tail+1+i)}})
+			sheds <- shed{resp, doc}
+		}(i)
+	}
+	wave.Wait()
+	close(sheds)
+	for s := range sheds {
+		checkOverloaded(t, s.resp, s.doc)
+	}
+	if code := <-blocked; code != http.StatusOK {
+		t.Fatalf("parked request shed alongside the wave: status %d", code)
+	}
+
+	// Recovery: with the window drained the same request is admitted again.
+	if _, resp := postImpute(t, client, ts.URL+"/v1/models/air/impute", imputeRequest{Rows: [][]*float64{fullRow(orig, tail)}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after drain: status %d, want 200 (no recovery)", resp.StatusCode)
+	}
+
+	// Queue-full path: same 429 contract, different cause.
+	resp, doc := postRaw(t, client, ts.URL+"/v1/models/stuffed/impute", imputeRequest{Rows: [][]*float64{fullRow(orig, tail)}})
+	checkOverloaded(t, resp, doc)
+	if msg, _ := doc["error"].(string); !strings.Contains(msg, "queue full") {
+		t.Fatalf("queue-full error %q does not name the cause", msg)
+	}
+
+	// Shed accounting reached /metrics: the wave plus the stuffed queue.
+	snap := metrics.Snapshot()
+	if snap.AdmissionRejections != waveSize+1 {
+		t.Fatalf("admission_rejections %d, want %d", snap.AdmissionRejections, waveSize+1)
+	}
+	if want := uint64((waveSize + 1) * 6); snap.ShedCostTotal != want {
+		t.Fatalf("shed_cost_total %d, want %d", snap.ShedCostTotal, want)
+	}
+}
+
+// TestServerReloadRollbackUnderLoad hammers the impute endpoint from
+// concurrent workers while the model is hot-reloaded and rolled back
+// underneath them. Every in-flight request must succeed against a coherent
+// model — observed cells echo exactly and the reported version is a retained
+// one — and version pins must keep routing to their pinned entry.
+func TestServerReloadRollbackUnderLoad(t *testing.T) {
+	path, orig, tail := fixture(t)
+	metrics := NewMetrics()
+	// KeepVersions exceeds the number of reloads below so no batcher is ever
+	// evicted mid-flight: with retention this generous, zero requests may
+	// fail for any reason.
+	registry := NewRegistry(Config{Window: time.Millisecond, KeepVersions: 16}, metrics)
+	defer registry.Close()
+	if _, err := registry.LoadFile("air", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(registry, metrics).Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var requests atomic.Int64
+	_, cols := orig.Dims()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				row := tail + (w*7+i)%(orig.Rows()-tail)
+				out, resp := postImpute(t, client, ts.URL+"/v1/models/air/impute", imputeRequest{Rows: [][]*float64{fullRow(orig, row)}})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: in-flight request failed during reload/rollback: status %d", w, resp.StatusCode)
+					return
+				}
+				if out.Version < 1 {
+					t.Errorf("worker %d: response version %d", w, out.Version)
+					return
+				}
+				for j := 0; j < cols; j++ {
+					want := orig.At(row, j)
+					if math.Abs(out.Rows[0][j]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+						t.Errorf("worker %d: observed cell %d = %v, want %v (torn model state)", w, j, out.Rows[0][j], want)
+						return
+					}
+				}
+				requests.Add(1)
+			}
+		}(w)
+	}
+
+	admin := func(method, url string) (int, modelInfo) {
+		req, err := http.NewRequest(method, url, strings.NewReader(fmt.Sprintf(`{"path":%q}`, path)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info modelInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, info
+	}
+
+	// Interleave reloads and rollbacks while the workers run.
+	wantActive := 1
+	for round := 0; round < 3; round++ {
+		time.Sleep(20 * time.Millisecond)
+		code, info := admin(http.MethodPost, ts.URL+"/admin/models/air")
+		if code != http.StatusOK {
+			t.Fatalf("round %d reload: status %d", round, code)
+		}
+		wantActive = info.Version
+		time.Sleep(20 * time.Millisecond)
+		code, info = admin(http.MethodPost, ts.URL+"/admin/models/air/rollback")
+		if code != http.StatusOK {
+			t.Fatalf("round %d rollback: status %d", round, code)
+		}
+		if info.Version != wantActive-1 {
+			t.Fatalf("round %d rollback landed on version %d, want %d", round, info.Version, wantActive-1)
+		}
+		wantActive = info.Version
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if requests.Load() < workers {
+		t.Fatalf("only %d requests completed during the churn", requests.Load())
+	}
+
+	// The version gauge tracks the rollback target.
+	if got := metrics.Snapshot().ModelVersions["air"]; got != wantActive {
+		t.Fatalf("model version gauge %d, want %d", got, wantActive)
+	}
+
+	// Pins route to their exact retained version, active or not.
+	versions, active, ok := registry.Versions("air")
+	if !ok || len(versions) < 4 {
+		t.Fatalf("retained versions %v (ok=%v), want the full chain", versions, ok)
+	}
+	if active != wantActive {
+		t.Fatalf("active version %d, want %d", active, wantActive)
+	}
+	for _, v := range []int{versions[0], versions[len(versions)-1]} {
+		out, resp := postImpute(t, client, fmt.Sprintf("%s/v1/models/air/impute?version=%d", ts.URL, v), imputeRequest{Rows: [][]*float64{fullRow(orig, tail)}})
+		if resp.StatusCode != http.StatusOK || out.Version != v {
+			t.Fatalf("pinned version %d: status %d, served version %d", v, resp.StatusCode, out.Version)
+		}
+	}
+	if _, resp := postImpute(t, client, ts.URL+"/v1/models/air/impute?version=999", imputeRequest{Rows: [][]*float64{fullRow(orig, tail)}}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unretained pin: status %d, want 404", resp.StatusCode)
+	}
+	if _, resp := postImpute(t, client, ts.URL+"/v1/models/air/impute?version=two", imputeRequest{Rows: [][]*float64{fullRow(orig, tail)}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed pin: status %d, want 400", resp.StatusCode)
 	}
 }

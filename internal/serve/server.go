@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/spatialmf/smfl/internal/mat"
@@ -12,33 +15,53 @@ import (
 
 // Server is the HTTP front of the registry:
 //
-//	POST   /v1/models/{name}/impute   fold-in + complete rows (micro-batched)
-//	GET    /v1/models                 list registered models
-//	POST   /admin/models/{name}      load or hot-swap a model from a path
-//	DELETE /admin/models/{name}      unregister a model
-//	GET    /metrics                   counters, latency + batch histograms
-//	GET    /healthz                   liveness
+//	POST   /v1/models/{name}/impute          fold-in + complete rows (micro-batched,
+//	                                         cost-aware admission; ?version=N pins a
+//	                                         retained version for A/B routing)
+//	GET    /v1/models                        list registered models + retained versions
+//	POST   /admin/models/{name}              load or hot-swap a model from a path
+//	POST   /admin/models/{name}/rollback     revert to the previous retained version
+//	DELETE /admin/models/{name}              unregister a model (all versions)
+//	GET    /metrics                          JSON by default; Prometheus text exposition
+//	                                         when Accept asks for text/plain or openmetrics
+//	GET    /healthz                          liveness
+//
+// Overload (admission window or model queue full) is answered with 429, a
+// Retry-After header, and one shared JSON body shape carrying the same
+// retry hint.
 type Server struct {
-	registry *Registry
-	metrics  *Metrics
-	mux      *http.ServeMux
+	registry  *Registry
+	metrics   *Metrics
+	admission *Admission
+	mux       *http.ServeMux
 }
 
 // NewServer wires the handlers onto a fresh mux. metrics must be the same
-// instance the registry's batchers report to.
+// instance the registry's batchers report to; the admission controller is
+// built from the registry's AdmissionConfig.
 func NewServer(registry *Registry, metrics *Metrics) *Server {
-	s := &Server{registry: registry, metrics: metrics, mux: http.NewServeMux()}
+	s := &Server{
+		registry:  registry,
+		metrics:   metrics,
+		admission: NewAdmission(registry.cfg.Admission),
+		mux:       http.NewServeMux(),
+	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleListModels))
 	s.mux.HandleFunc("POST /v1/models/{name}/impute", s.instrument("impute", s.handleImpute))
 	s.mux.HandleFunc("POST /admin/models/{name}", s.instrument("admin_load", s.handleAdminLoad))
+	s.mux.HandleFunc("POST /admin/models/{name}/rollback", s.instrument("admin_rollback", s.handleRollback))
 	s.mux.HandleFunc("DELETE /admin/models/{name}", s.instrument("admin_remove", s.handleAdminRemove))
 	return s
 }
 
 // Handler returns the server's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Admission exposes the server's admission controller (read-only use:
+// gauges, tests).
+func (s *Server) Admission() *Admission { return s.admission }
 
 // statusWriter captures the response code for error accounting.
 type statusWriter struct {
@@ -71,18 +94,61 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// overloadBody is the single 429 shape shared by every shed path (admission
+// window full and model queue full): the error, and the same retry hint that
+// is set as the Retry-After header.
+type overloadBody struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int64  `json:"retry_after_seconds"`
+}
+
+// writeOverloaded answers 429 with a Retry-After header (whole seconds,
+// minimum 1) and the shared overload body.
+func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusTooManyRequests, overloadBody{
+		Error:             fmt.Sprintf(format, args...),
+		RetryAfterSeconds: secs,
+	})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.registry.Len()})
 }
 
+// wantsPrometheus reports whether the client asked for the text exposition:
+// an Accept header naming text/plain or an OpenMetrics type, or an explicit
+// ?format=prometheus. Everything else (including curl's Accept: */*) keeps
+// the JSON document.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	snap.AdmissionWindowCost, snap.AdmissionInflightCost = s.admission.State()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, snap)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // modelInfo is the public description of a registry entry.
 type modelInfo struct {
 	Name      string    `json:"name"`
 	Path      string    `json:"path,omitempty"`
+	Version   int       `json:"version"`
+	Versions  []int     `json:"versions,omitempty"` // retained versions, ascending (list endpoint only)
 	Method    string    `json:"method"`
 	K         int       `json:"k"`
 	Columns   int       `json:"columns"`
@@ -96,7 +162,7 @@ type modelInfo struct {
 func describe(e *Entry) modelInfo {
 	k, cols := e.Model.V.Dims()
 	return modelInfo{
-		Name: e.Name, Path: e.Path, Method: e.Model.Method.String(),
+		Name: e.Name, Path: e.Path, Version: e.Version, Method: e.Model.Method.String(),
 		K: k, Columns: cols, SIColumns: e.Model.L, HasNorm: e.Norm != nil,
 		Converged: e.Model.Converged, Iters: e.Model.Iters, LoadedAt: e.LoadedAt,
 	}
@@ -107,6 +173,9 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 	infos := make([]modelInfo, len(entries))
 	for i, e := range entries {
 		infos[i] = describe(e)
+		if versions, _, ok := s.registry.Versions(e.Name); ok {
+			infos[i].Versions = versions
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
 }
@@ -132,6 +201,23 @@ func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, describe(entry))
 }
 
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, err := s.registry.Rollback(name)
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		return
+	case errors.Is(err, ErrNoPreviousVersion):
+		writeError(w, http.StatusConflict, "model %q has no previous version to roll back to", name)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, describe(entry))
+}
+
 func (s *Server) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.registry.Remove(name) {
@@ -150,6 +236,7 @@ type imputeRequest struct {
 
 type imputeResponse struct {
 	Model        string      `json:"model"`
+	Version      int         `json:"version"`
 	Rows         [][]float64 `json:"rows"`
 	Coefficients [][]float64 `json:"coefficients,omitempty"`
 	Filled       int         `json:"filled"`
@@ -159,8 +246,19 @@ type imputeResponse struct {
 
 func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	entry, ok := s.registry.Get(name)
-	if !ok {
+	var entry *Entry
+	var ok bool
+	if pin := r.URL.Query().Get("version"); pin != "" {
+		version, err := strconv.Atoi(pin)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad version %q: %v", pin, err)
+			return
+		}
+		if entry, ok = s.registry.GetVersion(name, version); !ok {
+			writeError(w, http.StatusNotFound, "model %q version %d not registered", name, version)
+			return
+		}
+	} else if entry, ok = s.registry.Get(name); !ok {
 		writeError(w, http.StatusNotFound, "model %q not registered", name)
 		return
 	}
@@ -174,18 +272,30 @@ func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	cost := requestCost(mask)
+	if admitted, retryAfter := s.admission.Admit(cost); !admitted {
+		s.metrics.AdmissionRejected(cost)
+		writeOverloaded(w, retryAfter, "admission window full (cost %d)", cost)
+		return
+	}
+	start := time.Now()
 	res, err := entry.batcher.Submit(r.Context(), rows, mask)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		s.admission.ReleaseDropped(cost)
+		s.metrics.AdmissionRejected(cost)
+		writeOverloaded(w, s.admission.RetryAfter(cost), "model %q queue full", name)
 		return
 	case errors.Is(err, ErrClosed):
+		s.admission.ReleaseDropped(cost)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
+		s.admission.Release(cost, time.Since(start))
 		writeError(w, http.StatusInternalServerError, "fold-in failed: %v", err)
 		return
 	}
+	s.admission.Release(cost, time.Since(start))
 	units := "normalized"
 	if entry.Norm != nil {
 		entry.Norm.Invert(res.completed)
@@ -193,6 +303,7 @@ func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := imputeResponse{
 		Model:     name,
+		Version:   entry.Version,
 		Rows:      toRows(res.completed),
 		Filled:    mask.CountHidden(),
 		BatchRows: res.batchRows,

@@ -3,32 +3,47 @@
 // Usage:
 //
 //	experiments list
-//	experiments run <id>|all [-scale f] [-runs n] [-seed s] [-maxiter n] [-budget d]
+//	experiments run <id>|all [-scale f] [-runs n] [-seed s] [-maxiter n] [-budget d] [-journal f.jsonl]
 //
 // IDs: table4 table5 table6 table7 fig4a fig4b fig5 fig6 fig7 fig8 fig9
 // ablation-landmark-source ablation-updater ablation-graph
+//
+// With -journal, every completed table cell is appended to the given JSONL
+// file, and a rerun with the same journal (and the same scale/runs/seed/
+// maxiter flags) skips the cells already done — so a sweep interrupted by
+// Ctrl-C or a crash resumes where it left off instead of starting over.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/spatialmf/smfl/internal/core"
 	"github.com/spatialmf/smfl/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, core.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; completed cells are journaled, rerun to resume: %v\n", err)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run executes one CLI invocation; factored out of main for tests.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
 		return errors.New("usage: experiments list | run <id>|all [flags]")
 	}
@@ -52,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget := fs.Duration("budget", 10*time.Minute, "per-method OOT budget")
 		quiet := fs.Bool("quiet", false, "suppress progress lines")
 		format := fs.String("format", "table", "output format: table | csv")
+		journalPath := fs.String("journal", "", "JSONL cell journal: record completed cells, skip them on rerun")
 		if err := fs.Parse(args[2:]); err != nil {
 			return err
 		}
@@ -61,7 +77,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts := experiments.Options{
 			Scale: *scale, Runs: *runs, Seed: *seed,
 			MaxIter: *maxIter, Budget: *budget,
-			Quiet: *quiet, Log: stderr,
+			Quiet: *quiet, Log: stderr, Ctx: ctx,
+		}
+		if *journalPath != "" {
+			journal, err := experiments.OpenJournal(*journalPath, opts)
+			if err != nil {
+				return err
+			}
+			defer journal.Close()
+			opts.Journal = journal
 		}
 		if id == "all" {
 			for _, e := range experiments.Registry {

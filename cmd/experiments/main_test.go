@@ -2,13 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/spatialmf/smfl/internal/core"
 )
 
 func TestRunList(t *testing.T) {
 	var out, errW bytes.Buffer
-	if err := run([]string{"list"}, &out, &errW); err != nil {
+	if err := run(context.Background(), []string{"list"}, &out, &errW); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"table4", "table7", "fig5", "fig9"} {
@@ -20,7 +26,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunSingleExperimentCSV(t *testing.T) {
 	var out, errW bytes.Buffer
-	err := run([]string{"run", "fig5", "-scale", "0.004", "-runs", "1", "-maxiter", "30", "-quiet", "-format", "csv"}, &out, &errW)
+	err := run(context.Background(), []string{"run", "fig5", "-scale", "0.004", "-runs", "1", "-maxiter", "30", "-quiet", "-format", "csv"}, &out, &errW)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +41,7 @@ func TestRunSingleExperimentCSV(t *testing.T) {
 
 func TestRunTableFormat(t *testing.T) {
 	var out, errW bytes.Buffer
-	err := run([]string{"run", "ablation-graph", "-scale", "0.004", "-quiet"}, &out, &errW)
+	err := run(context.Background(), []string{"run", "ablation-graph", "-scale", "0.004", "-quiet"}, &out, &errW)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,19 +52,67 @@ func TestRunTableFormat(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errW bytes.Buffer
-	if err := run(nil, &out, &errW); err == nil {
+	if err := run(context.Background(), nil, &out, &errW); err == nil {
 		t.Fatal("expected usage error")
 	}
-	if err := run([]string{"run"}, &out, &errW); err == nil {
+	if err := run(context.Background(), []string{"run"}, &out, &errW); err == nil {
 		t.Fatal("expected missing-id error")
 	}
-	if err := run([]string{"run", "nope"}, &out, &errW); err == nil {
+	if err := run(context.Background(), []string{"run", "nope"}, &out, &errW); err == nil {
 		t.Fatal("expected unknown-experiment error")
 	}
-	if err := run([]string{"run", "fig5", "-format", "xml"}, &out, &errW); err == nil {
+	if err := run(context.Background(), []string{"run", "fig5", "-format", "xml"}, &out, &errW); err == nil {
 		t.Fatal("expected unknown-format error")
 	}
-	if err := run([]string{"frobnicate"}, &out, &errW); err == nil {
+	if err := run(context.Background(), []string{"frobnicate"}, &out, &errW); err == nil {
 		t.Fatal("expected unknown-command error")
+	}
+}
+
+// TestRunJournalResume: two identical runs against one -journal file must
+// produce identical output, with the second run served from the journal (no
+// new bytes appended).
+func TestRunJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "cells.jsonl")
+	args := []string{"run", "ablation-landmark-source", "-scale", "0.004", "-runs", "1",
+		"-maxiter", "10", "-quiet", "-format", "csv", "-journal", journal}
+
+	var out1, errW bytes.Buffer
+	if err := run(context.Background(), args, &out1, &errW); err != nil {
+		t.Fatalf("%v\n%s", err, errW.String())
+	}
+	before, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+
+	var out2 bytes.Buffer
+	if err := run(context.Background(), args, &out2, &errW); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatal("journaled rerun produced different output")
+	}
+	if len(after) != len(before) {
+		t.Fatal("journaled rerun recomputed cells")
+	}
+
+	// Mismatched options are refused instead of silently mixing results.
+	mismatch := []string{"run", "ablation-landmark-source", "-scale", "0.004", "-runs", "2",
+		"-maxiter", "10", "-quiet", "-journal", journal}
+	if err := run(context.Background(), mismatch, &out2, &errW); err == nil {
+		t.Fatal("journal accepted mismatched options")
+	}
+
+	// A cancelled run exits with core.ErrInterrupted.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"run", "ablation-landmark-source", "-scale", "0.004", "-runs", "1",
+		"-maxiter", "10", "-quiet"}, &out2, &errW); !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("cancelled run returned %v, want ErrInterrupted", err)
 	}
 }

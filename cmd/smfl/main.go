@@ -6,32 +6,47 @@
 //	smfl impute  -in data.csv -out filled.csv [-l 2] [-method SMFL] [-k 10] [-lambda 0.1] [-p 3] [-savemodel m.smfl]
 //	smfl repair  -in data.csv -out repaired.csv [-l 2] [-threshold 6] ...
 //	smfl cluster -in data.csv [-l 2] [-k 5]
-//	smfl foldin  -model m.smfl -in new.csv -out filled.csv
+//	smfl foldin  -model m.smfl -in new.csv -out filled.csv [-foldin-tol 1e-8]
 //
 // For impute, empty CSV cells mark the missing values. For repair, dirty
 // cells are found with the spatial-outlier detector. The table is min-max
 // normalized internally and written back in original units.
+//
+// Long fits are crash-safe and cancellable: -checkpoint makes impute write an
+// atomic training checkpoint every -checkpoint-every iterations (and on
+// Ctrl-C / SIGTERM, which stop the fit cleanly), and -resume continues an
+// interrupted fit from that checkpoint with a bit-identical trajectory.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/spatialmf/smfl/internal/core"
 	"github.com/spatialmf/smfl/internal/dataset"
 	"github.com/spatialmf/smfl/internal/kmeans"
+	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/repair"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, core.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "smfl: %v\n", err)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "smfl: %v\n", err)
 		os.Exit(1)
 	}
@@ -40,7 +55,7 @@ func main() {
 const usage = "usage: smfl impute|repair|cluster|foldin [flags]"
 
 // run executes one subcommand; factored out of main for tests.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
 		return errors.New(usage)
 	}
@@ -56,9 +71,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	p := fs.Int("p", 3, "spatial nearest neighbors")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	maxIter := fs.Int("maxiter", 500, "iteration cap")
+	tol := fs.Float64("tol", 0, "relative objective-change early stop (0 = default 1e-5)")
 	threshold := fs.Float64("threshold", 6, "repair: outlier detection threshold")
 	saveModel := fs.String("savemodel", "", "impute: also save the fitted model here")
 	modelPath := fs.String("model", "", "foldin: fitted model written by -savemodel")
+	checkpoint := fs.String("checkpoint", "", "impute: write an atomic training checkpoint here")
+	checkpointEvery := fs.Int("checkpoint-every", 25, "impute: checkpoint cadence in iterations")
+	resume := fs.Bool("resume", false, "impute: continue the fit from -checkpoint instead of starting over")
+	foldinTol := fs.Float64("foldin-tol", 0, "foldin: per-row convergence tolerance (0 = model default)")
 	verbose := fs.Bool("v", false, "report wall-clock fit time and iteration count")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -70,7 +90,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{K: *k, Lambda: *lambda, P: *p, Seed: *seed, MaxIter: *maxIter}
+	cfg := core.Config{
+		K: *k, Lambda: *lambda, P: *p, Seed: *seed, MaxIter: *maxIter, Tol: *tol,
+		Ctx: ctx, CheckpointPath: *checkpoint, CheckpointEvery: *checkpointEvery,
+	}
+	if *resume && *checkpoint == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
 
 	switch cmd {
 	case "impute":
@@ -89,8 +115,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		nz.Apply(ds.X)
 		start := time.Now()
-		xhat, model, err := core.Impute(ds.X, mask, ds.L, method, cfg)
+		var xhat *mat.Dense
+		var model *core.Model
+		if *resume {
+			// The normalizer is refit from the same data, so the normalized
+			// matrix — and with it the checkpoint hash — reproduces exactly.
+			model, err = core.ResumeFit(*checkpoint, ds.X, mask, &core.ResumeOptions{
+				Ctx: ctx, MaxIter: *maxIter, CheckpointEvery: *checkpointEvery,
+			})
+			if model != nil && err == nil {
+				xhat = model.Recover(ds.X, mask)
+			}
+		} else {
+			xhat, model, err = core.Impute(ds.X, mask, ds.L, method, cfg)
+		}
 		if err != nil {
+			if errors.Is(err, core.ErrInterrupted) && *checkpoint != "" {
+				return fmt.Errorf("%w; checkpoint saved, rerun with -resume to continue", err)
+			}
 			return err
 		}
 		if *verbose {
@@ -188,6 +230,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// New rows arrive in original units; apply the training
 		// normalization, complete, and map back.
 		nz.Apply(ds.X)
+		if *foldinTol > 0 {
+			model.Config.FoldInTol = *foldinTol
+		}
+		model.Config.Ctx = ctx
 		start := time.Now()
 		completed, err := model.CompleteRows(ds.X, mask, *maxIter)
 		if err != nil {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,7 @@ import (
 
 	"github.com/spatialmf/smfl/internal/core"
 	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/faultinject"
 )
 
 func writeTempCSV(t *testing.T, withHoles bool) string {
@@ -60,7 +63,7 @@ func TestRunImputeEndToEnd(t *testing.T) {
 	in := writeTempCSV(t, true)
 	out := filepath.Join(t.TempDir(), "filled.csv")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"impute", "-in", in, "-out", out, "-k", "3", "-maxiter", "60"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"impute", "-in", in, "-out", out, "-k", "3", "-maxiter", "60"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
 	}
@@ -81,7 +84,7 @@ func TestRunRepairEndToEnd(t *testing.T) {
 	in := writeTempCSV(t, false)
 	out := filepath.Join(t.TempDir(), "repaired.csv")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"repair", "-in", in, "-out", out, "-k", "3", "-maxiter", "40", "-threshold", "8"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"repair", "-in", in, "-out", out, "-k", "3", "-maxiter", "40", "-threshold", "8"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -96,7 +99,7 @@ func TestRunRepairEndToEnd(t *testing.T) {
 func TestRunClusterEndToEnd(t *testing.T) {
 	in := writeTempCSV(t, false)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"cluster", "-in", in, "-k", "3", "-maxiter", "30"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"cluster", "-in", in, "-k", "3", "-maxiter", "30"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -111,24 +114,24 @@ func TestRunClusterEndToEnd(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errW bytes.Buffer
-	err := run(nil, &out, &errW)
+	err := run(context.Background(), nil, &out, &errW)
 	if err == nil {
 		t.Fatal("expected usage error")
 	}
 	if !strings.Contains(err.Error(), "foldin") {
 		t.Fatalf("usage omits the foldin subcommand: %v", err)
 	}
-	if err := run([]string{"impute"}, &out, &errW); err == nil {
+	if err := run(context.Background(), []string{"impute"}, &out, &errW); err == nil {
 		t.Fatal("expected -in required error")
 	}
-	err = run([]string{"frobnicate", "-in", "x"}, &out, &errW)
+	err = run(context.Background(), []string{"frobnicate", "-in", "x"}, &out, &errW)
 	if err == nil {
 		t.Fatal("expected unknown-command error")
 	}
 	if !strings.Contains(err.Error(), usage) {
 		t.Fatalf("unknown command does not print usage: %v", err)
 	}
-	if err := run([]string{"impute", "-in", "x.csv", "-method", "huh"}, &out, &errW); err == nil {
+	if err := run(context.Background(), []string{"impute", "-in", "x.csv", "-method", "huh"}, &out, &errW); err == nil {
 		t.Fatal("expected unknown-method error")
 	}
 }
@@ -139,7 +142,7 @@ func TestRunImputeSaveModelAndFoldIn(t *testing.T) {
 	out := filepath.Join(dir, "filled.csv")
 	modelPath := filepath.Join(dir, "model.smfl")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"impute", "-in", in, "-out", out, "-k", "3", "-maxiter", "40", "-savemodel", modelPath}, &stdout, &stderr)
+	err := run(context.Background(), []string{"impute", "-in", in, "-out", out, "-k", "3", "-maxiter", "40", "-savemodel", modelPath}, &stdout, &stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +154,7 @@ func TestRunImputeSaveModelAndFoldIn(t *testing.T) {
 	foldOut := filepath.Join(dir, "fold.csv")
 	stdout.Reset()
 	stderr.Reset()
-	err = run([]string{"foldin", "-model", modelPath, "-in", freshIn, "-out", foldOut, "-maxiter", "40"}, &stdout, &stderr)
+	err = run(context.Background(), []string{"foldin", "-model", modelPath, "-in", freshIn, "-out", foldOut, "-maxiter", "40"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("foldin: %v (stderr %s)", err, stderr.String())
 	}
@@ -170,7 +173,7 @@ func TestSaveModelIsLoadableByCore(t *testing.T) {
 	dir := t.TempDir()
 	modelPath := filepath.Join(dir, "model.smfl")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"impute", "-in", in, "-out", filepath.Join(dir, "f.csv"),
+	err := run(context.Background(), []string{"impute", "-in", in, "-out", filepath.Join(dir, "f.csv"),
 		"-k", "3", "-maxiter", "40", "-savemodel", modelPath}, &stdout, &stderr)
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +231,74 @@ func TestLoadArtifactLegacyFormat(t *testing.T) {
 
 func TestRunFoldinRequiresModel(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"foldin", "-in", "x.csv"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"foldin", "-in", "x.csv"}, &stdout, &stderr); err == nil {
 		t.Fatal("expected -model required error")
+	}
+}
+
+// TestImputeCheckpointAndResume drives the crash-safe training flags: an
+// impute run interrupted by a (deterministically) cancelled context leaves a
+// checkpoint behind, and a -resume rerun completes from it, producing the
+// same output as a never-interrupted run.
+func TestImputeCheckpointAndResume(t *testing.T) {
+	defer faultinject.Reset()
+	in := writeTempCSV(t, true)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fit.ckpt")
+	full := filepath.Join(dir, "full.csv")
+	resumed := filepath.Join(dir, "resumed.csv")
+	var stdout, stderr bytes.Buffer
+
+	// Reference: uninterrupted run.
+	err := run(context.Background(), []string{"impute", "-in", in, "-out", full,
+		"-k", "3", "-maxiter", "60", "-tol", "1e-12"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("reference run: %v\n%s", err, stderr.String())
+	}
+
+	// Interrupted run: cancel mid-fit via the iteration fault point — the
+	// deterministic stand-in for Ctrl-C.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Enable(faultinject.FitIter, func(p any) error {
+		if p.(*core.FitFault).Iter == 20 {
+			cancel()
+		}
+		return nil
+	})
+	err = run(ctx, []string{"impute", "-in", in, "-out", filepath.Join(dir, "x.csv"),
+		"-k", "3", "-maxiter", "60", "-tol", "1e-12", "-checkpoint", ckpt}, &stdout, &stderr)
+	if err == nil || !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("interrupt message should point at -resume: %v", err)
+	}
+	faultinject.Reset()
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+
+	// Resume to completion and compare against the reference output.
+	err = run(context.Background(), []string{"impute", "-in", in, "-out", resumed,
+		"-k", "3", "-maxiter", "60", "-tol", "1e-12", "-checkpoint", ckpt, "-resume"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("resume run: %v\n%s", err, stderr.String())
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("resumed output differs from the uninterrupted run")
+	}
+
+	// -resume without -checkpoint is a usage error.
+	if err := run(context.Background(), []string{"impute", "-in", in, "-resume"}, &stdout, &stderr); err == nil {
+		t.Fatal("-resume without -checkpoint must fail")
 	}
 }

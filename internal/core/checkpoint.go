@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+
+	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/spatial"
+)
+
+// Checkpoint format: a gob container wrapping the standard .smfl model
+// payload (so a checkpoint is also a loadable model image) plus the trainer
+// state that the model alone cannot reconstruct — the GD step scale and the
+// watchdog's jitter-RNG state — and a hash binding the checkpoint to the
+// exact (data, mask, weights, solver configuration) it was trained on.
+// Everything else needed to continue (iteration index = Iters, objective
+// history, landmarks, configuration) already travels inside the model
+// payload. Files are written atomically: temp file in the target directory,
+// fsync, rename, directory fsync — a crash at any instant leaves either the
+// previous checkpoint or the new one, never a torn file.
+
+// ckptMagic/ckptVersion identify the checkpoint container. Bump the version
+// only for incompatible layouts; gob tolerates appended fields.
+const (
+	ckptMagic   = "SMFL-CKPT"
+	ckptVersion = 1
+)
+
+type checkpointWire struct {
+	Magic     string
+	Version   int
+	Hash      uint64
+	Model     []byte // core Save payload (wire v3: includes Partial, Recoveries)
+	StepScale float64
+	Jitter    uint64
+}
+
+// Checkpoint is the decoded image of a training checkpoint.
+type Checkpoint struct {
+	Model     *Model
+	Hash      uint64
+	StepScale float64
+	Jitter    uint64
+}
+
+// writeCheckpoint atomically persists the current trainer state.
+func (tr *trainer) writeCheckpoint(model *Model) error {
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", tr.ckptPath, err)
+	}
+	wire := checkpointWire{
+		Magic: ckptMagic, Version: ckptVersion, Hash: tr.hash,
+		Model: buf.Bytes(), StepScale: tr.stepScale, Jitter: tr.jitter,
+	}
+	if err := writeFileAtomic(tr.ckptPath, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(&wire)
+	}); err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", tr.ckptPath, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint written during Fit. The
+// embedded model passes the same hostile-input validation as a model file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var wire checkpointWire
+	if err := gob.NewDecoder(f).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	if wire.Magic != ckptMagic {
+		return nil, fmt.Errorf("core: %s is not a training checkpoint", path)
+	}
+	if wire.Version != ckptVersion {
+		return nil, fmt.Errorf("core: checkpoint %s has unsupported version %d", path, wire.Version)
+	}
+	model, err := Load(bytes.NewReader(wire.Model))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	ck := &Checkpoint{Model: model, Hash: wire.Hash, StepScale: wire.StepScale, Jitter: wire.Jitter}
+	if ck.StepScale <= 0 || math.IsNaN(ck.StepScale) || math.IsInf(ck.StepScale, 0) {
+		return nil, fmt.Errorf("core: checkpoint %s has invalid step scale %v", path, ck.StepScale)
+	}
+	return ck, nil
+}
+
+// ResumeOptions carries the runtime-only inputs of a resumed fit — values
+// that are intentionally not serialized into checkpoints. Everything else
+// (hyperparameters, method, landmarks, iteration index, objective history)
+// is restored from the checkpoint itself.
+type ResumeOptions struct {
+	// Ctx cancels the resumed fit, exactly like Config.Ctx on Fit.
+	Ctx context.Context
+	// Weights must be the same confidence-weight matrix the original Fit
+	// ran with (it participates in the checkpoint hash), or nil.
+	Weights *mat.Dense
+	// MaxIter, when positive, replaces the checkpointed iteration cap —
+	// the knob for "train a finished run for longer".
+	MaxIter int
+	// CheckpointPath redirects further checkpoints (default: the file being
+	// resumed). CheckpointEvery, when positive, overrides the cadence.
+	CheckpointPath  string
+	CheckpointEvery int
+}
+
+// ResumeFit continues an interrupted Fit from the checkpoint at path,
+// producing a trajectory bit-identical to the uninterrupted run: x and omega
+// must be the exact training inputs (verified against the checkpoint's
+// hash), the spatial graph is rebuilt deterministically from them, and the
+// factors, objective history, and watchdog RNG state are restored from the
+// checkpoint. A checkpoint of a converged (or iteration-capped) run returns
+// immediately unless opts raises MaxIter.
+func ResumeFit(path string, x *mat.Dense, omega *mat.Mask, opts *ResumeOptions) (*Model, error) {
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &ResumeOptions{}
+	}
+	model := ck.Model
+	cfg := model.Config // defaults were applied by the original Fit
+	cfg.Ctx = opts.Ctx
+	cfg.Weights = opts.Weights
+	if opts.MaxIter > 0 {
+		cfg.MaxIter = opts.MaxIter
+	}
+	cfg.CheckpointPath = path
+	if opts.CheckpointPath != "" {
+		cfg.CheckpointPath = opts.CheckpointPath
+	}
+	if opts.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = opts.CheckpointEvery
+	}
+	model.Config = cfg
+
+	n, m := x.Dims()
+	if un, _ := model.U.Dims(); un != n {
+		return nil, fmt.Errorf("core: resume: checkpoint has %d rows, data has %d", un, n)
+	}
+	if _, vm := model.V.Dims(); vm != m {
+		return nil, fmt.Errorf("core: resume: checkpoint has %d columns, data has %d", vm, m)
+	}
+	if omega == nil {
+		omega = mat.FullMask(n, m)
+	}
+	if or, oc := omega.Dims(); or != n || oc != m {
+		return nil, fmt.Errorf("core: resume: mask shape %dx%d vs data %dx%d", or, oc, n, m)
+	}
+	if h := fitHash(x, omega, model.Method, model.L, cfg); h != ck.Hash {
+		return nil, fmt.Errorf("core: checkpoint %s was written for different data, weights or configuration", path)
+	}
+
+	model.Partial = false
+	if model.Converged || model.Iters >= cfg.MaxIter {
+		return model, nil
+	}
+
+	rx := omega.Project(nil, x)
+	var graph *spatial.Graph
+	if model.Method != NMF {
+		si := siFilled(x, omega, model.L)
+		if graph, err = spatial.BuildGraph(si, cfg.P, cfg.GraphMode); err != nil {
+			return nil, err
+		}
+	}
+	tr := newTrainer(model.Method, cfg)
+	tr.hash = ck.Hash
+	tr.stepScale = ck.StepScale
+	tr.jitter = ck.Jitter
+	tr.begin(model)
+	return runFit(model, tr, x, rx, omega, graph)
+}
+
+// fitHash binds a checkpoint to its training run: FNV-1a over the data
+// matrix, the observation mask, the confidence weights, and every
+// configuration field that shapes the optimization trajectory. Runtime-only
+// fields (Ctx, checkpoint/watchdog knobs) and MaxIter (legitimately raised on
+// resume) are excluded.
+func fitHash(x *mat.Dense, omega *mat.Mask, method Method, l int, cfg Config) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	wi := func(v int64) { w64(uint64(v)) }
+
+	wi(int64(method))
+	wi(int64(l))
+	n, m := x.Dims()
+	wi(int64(n))
+	wi(int64(m))
+	for _, v := range x.Data() {
+		wf(v)
+	}
+	if b, err := omega.MarshalBinary(); err == nil {
+		h.Write(b)
+	}
+	if cfg.Weights != nil {
+		wi(1)
+		for _, v := range cfg.Weights.Data() {
+			wf(v)
+		}
+	}
+	wi(int64(cfg.K))
+	wf(cfg.Lambda)
+	wi(int64(cfg.P))
+	wf(cfg.Tol)
+	wi(cfg.Seed)
+	wi(int64(cfg.KMeansMaxIter))
+	wi(int64(cfg.KMeansRestarts))
+	wf(cfg.LearningRate)
+	wf(cfg.Eps)
+	wi(int64(cfg.Updater))
+	wi(int64(cfg.LandmarkSource))
+	wi(int64(cfg.GraphMode))
+	return h.Sum64()
+}

@@ -17,12 +17,38 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/spatial"
 )
+
+// ErrInterrupted tags the error returned when Config.Ctx cancels a running
+// Fit, ResumeFit or FoldIn. The partial result is still returned alongside
+// it: Fit hands back the best-so-far model with Partial set (checkpointed
+// first when checkpointing is configured), FoldIn the coefficients computed
+// so far. Callers distinguish interruption from failure with
+// errors.Is(err, ErrInterrupted).
+var ErrInterrupted = errors.New("core: interrupted")
+
+// DivergenceError is the classified error returned when the divergence
+// watchdog exhausts its retries: every rollback-and-retry of the same
+// iteration diverged again. The model returned with it holds the last
+// numerically healthy state, tagged Partial.
+type DivergenceError struct {
+	Method  Method
+	Updater Updater
+	Iter    int    // iteration that kept diverging (0-based)
+	Retries int    // consecutive recoveries attempted before giving up
+	Reason  string // what tripped the watchdog on the final attempt
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("core: %s/%v diverged at iteration %d (%s) after %d recovery attempts",
+		e.Method, e.Updater, e.Iter, e.Reason, e.Retries)
+}
 
 // Method selects which member of the model family to fit.
 type Method int
@@ -96,6 +122,36 @@ type Config struct {
 	LandmarkSource LandmarkSource
 	GraphMode      spatial.BuildMode // KD-tree by default
 
+	// FoldInTol is the per-row relative objective-change tolerance that
+	// freezes a converged row in batched FoldIn (default 1e-8, the value
+	// previously hardcoded).
+	FoldInTol float64
+
+	// Ctx, when non-nil, makes Fit/ResumeFit/FoldIn cancellable: on
+	// cancellation or deadline the call stops at the next iteration boundary
+	// and returns the best-so-far result together with an error wrapping
+	// ErrInterrupted (and writes a final checkpoint first when checkpointing
+	// is configured). Ctx is runtime-only state: it is never serialized and
+	// does not participate in the checkpoint configuration hash.
+	Ctx context.Context
+
+	// CheckpointPath, when non-empty, makes Fit write an atomic checkpoint
+	// (temp file + fsync + rename) every CheckpointEvery iterations, on
+	// convergence, and on cancellation. ResumeFit restores the run from it
+	// with a bit-identical trajectory. CheckpointEvery defaults to 25.
+	CheckpointPath  string
+	CheckpointEvery int
+
+	// WatchdogRetries bounds the consecutive rollback-and-retry recoveries
+	// the divergence watchdog attempts before returning a DivergenceError
+	// (default 5). Set to -1 to disable the watchdog entirely (the pre-
+	// watchdog behavior: NaN/Inf silently poison the run).
+	WatchdogRetries int
+	// WatchdogExplode is the relative objective-explosion threshold: an
+	// iteration whose objective exceeds this multiple of the last healthy
+	// one is rolled back (default 100).
+	WatchdogExplode float64
+
 	// Weights, when non-nil, turns the reconstruction term into the
 	// confidence-weighted ‖W^½ ⊙ R_Ω(X − UV)‖²_F: cells with larger weights
 	// are trusted more (e.g. per-sensor reliability). Shape must match X,
@@ -132,6 +188,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Eps == 0 {
 		c.Eps = 1e-12
+	}
+	if c.FoldInTol == 0 {
+		c.FoldInTol = 1e-8
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 25
+	}
+	if c.WatchdogRetries == 0 {
+		c.WatchdogRetries = 5
+	}
+	if c.WatchdogExplode == 0 {
+		c.WatchdogExplode = 100
 	}
 	return c
 }
@@ -203,6 +271,15 @@ type Model struct {
 	Objective []float64 // objective value after each iteration
 	Iters     int       // iterations actually run
 	Converged bool      // true when the Tol early stop fired
+
+	// Partial marks a model returned by an interrupted or diverged fit: the
+	// best state reached, not a finished artifact. Partial models persist
+	// (checkpoints are built on this) and load, but the serving layer
+	// refuses to register them.
+	Partial bool
+	// Recoveries counts divergence-watchdog rollbacks performed during the
+	// fit (0 for a numerically uneventful run).
+	Recoveries int
 }
 
 // Predict returns the reconstruction X* = U·V.

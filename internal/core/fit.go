@@ -81,13 +81,30 @@ func Fit(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*Mode
 		injectLandmarks(model.V, c)
 	}
 
-	switch cfg.Updater {
+	tr := newTrainer(method, cfg)
+	if tr.ckptPath != "" {
+		tr.hash = fitHash(x, omega, method, l, cfg)
+	}
+	tr.begin(model)
+	return runFit(model, tr, x, rx, omega, graph)
+}
+
+// runFit dispatches to the configured updater. On interruption, divergence
+// exhaustion, or an injected fault it returns the best-so-far model (tagged
+// Partial) together with the classified error, so a cancelled run never
+// vanishes.
+func runFit(model *Model, tr *trainer, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph) (*Model, error) {
+	var err error
+	switch model.Config.Updater {
 	case Multiplicative:
-		runMultiplicative(model, x, rx, omega, graph)
+		err = runMultiplicative(model, x, rx, omega, graph, tr)
 	case GradientDescent:
-		runGradientDescent(model, x, rx, omega, graph)
+		err = runGradientDescent(model, x, rx, omega, graph, tr)
 	default:
-		return nil, fmt.Errorf("core: unknown updater %d", cfg.Updater)
+		return nil, fmt.Errorf("core: unknown updater %d", model.Config.Updater)
+	}
+	if err != nil {
+		return model, err
 	}
 	return model, nil
 }
@@ -129,8 +146,13 @@ func initFactors(model *Model, n, m int) {
 	model.V = mat.RandomUniform(rng, cfg.K, m, 1e-3, 1)
 }
 
-// runMultiplicative iterates Formulas 13/14.
-func runMultiplicative(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph) {
+// runMultiplicative iterates Formulas 13/14. The trainer threads in the
+// fault-tolerance concerns: cancellation at iteration boundaries, the
+// divergence watchdog (a failed health check restores the last good factors,
+// re-jitters the offender, and retries the same iteration), and periodic
+// atomic checkpoints. When resuming, model.Iters/Objective carry the restored
+// position and the loop continues from there.
+func runMultiplicative(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph, tr *trainer) error {
 	cfg := model.Config
 	u, v := model.U, model.V
 	n, m := x.Dims()
@@ -163,8 +185,15 @@ func runMultiplicative(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *s
 	numUD, denUD := numU.Data(), denU.Data()
 	eps := cfg.Eps
 
-	prevObj := math.Inf(1)
-	for it := 0; it < cfg.MaxIter; it++ {
+	it := model.Iters
+	for it < cfg.MaxIter {
+		if err := tr.interrupted(model); err != nil {
+			return err
+		}
+		if err := tr.fireIterFault(model, it); err != nil {
+			return err
+		}
+
 		// ---- U step: U ⊙ (R_Ω(X)Vᵀ + λDU) ⊘ (R_Ω(UV)Vᵀ + λWU) ----
 		omega.ProjectMul(uv, u, v)
 		if weights != nil {
@@ -212,14 +241,32 @@ func runMultiplicative(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *s
 		if graph != nil && lam > 0 {
 			obj += lam * graph.QuadForm(u)
 		}
+
+		// ---- divergence watchdog: roll back and retry this iteration ----
+		if ok, reason := tr.healthy(obj, u, v); !ok {
+			if err := tr.recover(model, it, reason); err != nil {
+				return err
+			}
+			continue
+		}
+
+		prevObj := lastObj(model)
 		model.Objective = append(model.Objective, obj)
 		model.Iters = it + 1
+		tr.commit(model, obj)
 		if !math.IsInf(prevObj, 1) && math.Abs(prevObj-obj) <= cfg.Tol*math.Max(prevObj, 1e-12) {
 			model.Converged = true
+		}
+		it++
+		if err := tr.maybeCheckpoint(model, model.Converged || it == cfg.MaxIter); err != nil {
+			model.Partial = true
+			return err
+		}
+		if model.Converged {
 			break
 		}
-		prevObj = obj
 	}
+	return nil
 }
 
 // atMulCols stores (aᵀb)[:, c0:] into dst[:, c0:] (columns below c0 are left
@@ -298,14 +345,17 @@ func atMulCols(dst, a, b *mat.Dense, c0 int, omega *mat.Mask) {
 }
 
 // runGradientDescent iterates the plain projected gradient scheme of
-// Section III-B1 (used by the SMF-GD ablation).
-func runGradientDescent(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph) {
+// Section III-B1 (used by the SMF-GD ablation). The trainer threads in
+// cancellation, checkpoints, and the divergence watchdog; its stepScale
+// shrinks the learning rate on every rollback, so a diverging rate
+// self-heals instead of blowing up to Inf (Zhao et al. observe such
+// divergence is expected behavior for stochastic MF, arXiv:1705.06884).
+func runGradientDescent(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph, tr *trainer) error {
 	cfg := model.Config
 	u, v := model.U, model.V
 	n, m := x.Dims()
 	k := cfg.K
 	lam := cfg.Lambda
-	lr := cfg.LearningRate
 
 	startCol := 0
 	if model.Method == SMFL {
@@ -319,8 +369,16 @@ func runGradientDescent(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *
 	gradV := mat.NewDense(k, m)
 	tmpV := mat.NewDense(k, m)
 
-	prevObj := math.Inf(1)
-	for it := 0; it < cfg.MaxIter; it++ {
+	it := model.Iters
+	for it < cfg.MaxIter {
+		if err := tr.interrupted(model); err != nil {
+			return err
+		}
+		if err := tr.fireIterFault(model, it); err != nil {
+			return err
+		}
+		lr := cfg.LearningRate * tr.stepScale
+
 		omega.ProjectMul(uv, u, v)
 
 		// ∂O/∂U = −2 R_Ω(X)Vᵀ + 2 R_Ω(UV)Vᵀ + 2λLU
@@ -357,12 +415,29 @@ func runGradientDescent(model *Model, x, rx *mat.Dense, omega *mat.Mask, graph *
 		if graph != nil && lam > 0 {
 			obj += lam * graph.QuadForm(u)
 		}
+
+		if ok, reason := tr.healthy(obj, u, v); !ok {
+			if err := tr.recover(model, it, reason); err != nil {
+				return err
+			}
+			continue
+		}
+
+		prevObj := lastObj(model)
 		model.Objective = append(model.Objective, obj)
 		model.Iters = it + 1
+		tr.commit(model, obj)
 		if !math.IsInf(prevObj, 1) && math.Abs(prevObj-obj) <= cfg.Tol*math.Max(prevObj, 1e-12) {
 			model.Converged = true
+		}
+		it++
+		if err := tr.maybeCheckpoint(model, model.Converged || it == cfg.MaxIter); err != nil {
+			model.Partial = true
+			return err
+		}
+		if model.Converged {
 			break
 		}
-		prevObj = obj
 	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/spatialmf/smfl/internal/faultinject"
 	"github.com/spatialmf/smfl/internal/mat"
 )
 
@@ -21,7 +22,10 @@ import (
 // no edges in the training graph, so the Laplacian terms vanish).
 // rows is R×M in the same normalized units as the training matrix; omega
 // marks its observed entries (nil = fully observed). It returns the R×K
-// coefficient block.
+// coefficient block. Rows freeze individually once their relative objective
+// change drops below Config.FoldInTol; Config.Ctx, when set, cancels the
+// batch at an iteration boundary, returning the coefficients computed so far
+// with an error wrapping ErrInterrupted.
 //
 // FoldIn only reads the receiver (V, Config) and allocates all scratch
 // locally, so concurrent calls against one Model are safe — audited together
@@ -57,6 +61,10 @@ func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense,
 	if eps == 0 {
 		eps = 1e-12
 	}
+	tol := m.Config.FoldInTol
+	if tol <= 0 {
+		tol = 1e-8 // pre-v3 models carry no FoldInTol; keep the historical value
+	}
 
 	// Each row's trajectory is independent of the rest of the batch: the
 	// update touches only u_i and the convergence test is per-row, so a row
@@ -74,6 +82,16 @@ func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense,
 	}
 	remaining := r
 	for it := 0; it < iters && remaining > 0; it++ {
+		if ctx := m.Config.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return u, fmt.Errorf("%w after %d fold-in iterations: %w", ErrInterrupted, it, err)
+			}
+		}
+		if faultinject.Enabled() {
+			if err := faultinject.Fire(faultinject.FoldInIter, &FoldInFault{Iter: it, U: u}); err != nil {
+				return u, fmt.Errorf("core: fold-in iteration %d: %w", it, err)
+			}
+		}
 		mat.ParallelRange(r, 3*remaining*cols*k, func(lo, hi int) {
 			num := make([]float64, k)
 			den := make([]float64, k)
@@ -135,7 +153,7 @@ func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense,
 					d := xi[j] - p
 					obj += d * d
 				}
-				if !math.IsInf(prev[i], 1) && math.Abs(prev[i]-obj) <= 1e-8*math.Max(prev[i], 1e-12) {
+				if !math.IsInf(prev[i], 1) && math.Abs(prev[i]-obj) <= tol*math.Max(prev[i], 1e-12) {
 					active[i] = false
 				}
 				prev[i] = obj

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
 	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/faultinject"
 	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/metrics"
 )
@@ -213,5 +216,77 @@ func TestFoldInSingleRowMatchesBatchRow(t *testing.T) {
 			t.Fatalf("coefficient %d: single-row %v vs batch row 0 %v",
 				k, single.At(0, k), batch.At(0, k))
 		}
+	}
+}
+
+// TestFoldInCancellation: a context cancelled mid-batch stops FoldIn at the
+// next iteration boundary, returning the coefficients computed so far with an
+// error wrapping ErrInterrupted.
+func TestFoldInCancellation(t *testing.T) {
+	defer faultinject.Reset()
+	model, test := foldInFixture(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Enable(faultinject.FoldInIter, func(p any) error {
+		if p.(*FoldInFault).Iter == 3 {
+			cancel()
+		}
+		return nil
+	})
+
+	m := *model // shallow copy; Config is a value
+	m.Config.Ctx = ctx
+	u, err := m.FoldIn(test, nil, 100)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("got %v, want ErrInterrupted", err)
+	}
+	if u == nil {
+		t.Fatal("cancelled FoldIn must return the partial coefficients")
+	}
+	if r, c := u.Dims(); r != test.Rows() || c != model.Config.K {
+		t.Fatalf("partial coefficients are %dx%d", r, c)
+	}
+
+	// A pre-cancelled context stops before the first iteration.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	m.Config.Ctx = done
+	if _, err := m.FoldIn(test, nil, 100); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("pre-cancelled context: got %v", err)
+	}
+}
+
+// TestFoldInTolConfigurable: loosening the per-row convergence tolerance
+// freezes rows earlier, and the historical default (1e-8) still applies when
+// the field is zero (older model files).
+func TestFoldInTolConfigurable(t *testing.T) {
+	model, test := foldInFixture(t)
+
+	base := *model
+	base.Config.FoldInTol = 0 // pre-v3 file: default applies
+	uDefault, err := base.FoldIn(test, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strict := *model
+	strict.Config.FoldInTol = 1e-8 // the explicit historical value
+	uStrict, err := strict.FoldIn(test, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(uDefault, uStrict, 0) {
+		t.Fatal("zero FoldInTol must behave exactly like the 1e-8 default")
+	}
+
+	loose := *model
+	loose.Config.FoldInTol = 0.5
+	uLoose, err := loose.FoldIn(test, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.EqualApprox(uDefault, uLoose, 0) {
+		t.Fatal("a drastically looser tolerance changed nothing — the knob is not wired in")
 	}
 }

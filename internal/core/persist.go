@@ -7,16 +7,20 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
+	"github.com/spatialmf/smfl/internal/faultinject"
 	"github.com/spatialmf/smfl/internal/mat"
 )
 
 // wireVersion is the current .smfl container version. Version 1 files (no
 // Version field on the wire, no normalization stats) predate the serving
-// layer; gob leaves the absent fields zero, so Load reads them unchanged.
-// Decoders must tolerate unknown future fields the same way: never repurpose
-// a field name, only append.
-const wireVersion = 2
+// layer; version 3 adds the partial/recovery tags and the fault-tolerance
+// config fields. gob leaves absent fields zero, so Load reads older files
+// unchanged, and older decoders skip the appended fields. Decoders must
+// tolerate unknown future fields the same way: never repurpose a field name,
+// only append.
+const wireVersion = 3
 
 // modelWire is the gob-encodable image of a fitted Model. Matrices travel
 // through their binary marshalers (see internal/mat/serialize.go).
@@ -32,10 +36,15 @@ type modelWire struct {
 	// Since version 2.
 	Version            int
 	NormMins, NormMaxs []float64
+
+	// Since version 3.
+	Partial    bool
+	Recoveries int
 }
 
-// configWire mirrors Config minus the non-serializable Weights matrix (a
-// training-time input, not part of the fitted state).
+// configWire mirrors Config minus the runtime-only fields: the Weights
+// matrix (a training-time input, not fitted state), Ctx, and CheckpointPath
+// (a checkpoint already knows where it lives).
 type configWire struct {
 	K              int
 	Lambda         float64
@@ -49,6 +58,12 @@ type configWire struct {
 	Eps            float64
 	Updater        Updater
 	LandmarkSource LandmarkSource
+
+	// Since version 3.
+	FoldInTol       float64
+	CheckpointEvery int
+	WatchdogRetries int
+	WatchdogExplode float64
 }
 
 // Save serializes the fitted model (gob container with binary matrices).
@@ -79,10 +94,13 @@ func (m *Model) Save(w io.Writer) error {
 			Tol: cfg.Tol, Seed: cfg.Seed, KMeansMaxIter: cfg.KMeansMaxIter,
 			KMeansRestarts: cfg.KMeansRestarts, LearningRate: cfg.LearningRate,
 			Eps: cfg.Eps, Updater: cfg.Updater, LandmarkSource: cfg.LandmarkSource,
+			FoldInTol: cfg.FoldInTol, CheckpointEvery: cfg.CheckpointEvery,
+			WatchdogRetries: cfg.WatchdogRetries, WatchdogExplode: cfg.WatchdogExplode,
 		},
 		L: m.L, U: u, V: v, C: c,
 		Objective: m.Objective, Iters: m.Iters, Converged: m.Converged,
 		Version: wireVersion,
+		Partial: m.Partial, Recoveries: m.Recoveries,
 	}
 	if m.Norm != nil {
 		_, cols := m.V.Dims()
@@ -131,9 +149,14 @@ func Load(r io.Reader) (*Model, error) {
 			Tol: cw.Tol, Seed: cw.Seed, KMeansMaxIter: cw.KMeansMaxIter,
 			KMeansRestarts: cw.KMeansRestarts, LearningRate: cw.LearningRate,
 			Eps: cw.Eps, Updater: cw.Updater, LandmarkSource: cw.LandmarkSource,
+			// Pre-v3 files leave these zero; Fit re-applies defaults and FoldIn
+			// falls back to the historical 1e-8 tolerance.
+			FoldInTol: cw.FoldInTol, CheckpointEvery: cw.CheckpointEvery,
+			WatchdogRetries: cw.WatchdogRetries, WatchdogExplode: cw.WatchdogExplode,
 		},
 		L: wire.L, U: u, V: v, C: c, Norm: norm,
 		Objective: wire.Objective, Iters: wire.Iters, Converged: wire.Converged,
+		Partial: wire.Partial, Recoveries: wire.Recoveries,
 	}
 	if err := validateLoaded(m); err != nil {
 		return nil, err
@@ -183,14 +206,63 @@ func validateLoaded(m *Model) error {
 	return nil
 }
 
-// SaveFile writes the model to a file path.
+// SaveFile writes the model to a file path atomically: a reader (or a crash)
+// at any instant sees either the previous complete file or the new one, never
+// a torn write. Serving deployments rely on this to hot-swap model files in
+// place.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return writeFileAtomic(path, m.Save)
+}
+
+// writeFileAtomic streams write into a temp file in path's directory, fsyncs
+// it, renames it over path, and fsyncs the directory so the rename itself is
+// durable. The faultinject points let tests simulate an I/O error mid-write
+// (PersistWrite) and a crash in the window between the temp write and the
+// rename (PersistRename) — in both cases any previous file at path survives
+// untouched and the temp file is removed.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return m.Save(f)
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(faultinject.PersistWrite, &PersistFault{Path: path}); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if faultinject.Enabled() {
+		// A simulated crash here leaves the durable temp file on disk next to
+		// the intact previous file — exactly the state a real power cut would.
+		if err := faultinject.Fire(faultinject.PersistRename, &PersistFault{Path: path}); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best effort: rename durability
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile reads a model written by SaveFile.

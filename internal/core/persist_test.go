@@ -3,9 +3,11 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"path/filepath"
 	"testing"
 
+	"github.com/spatialmf/smfl/internal/faultinject"
 	"github.com/spatialmf/smfl/internal/mat"
 )
 
@@ -244,5 +246,107 @@ func TestDenseMaskBinaryRoundTrip(t *testing.T) {
 	}
 	if err := backM.UnmarshalBinary(raw); err == nil {
 		t.Fatal("expected magic mismatch error")
+	}
+}
+
+// TestSaveFileAtomicSurvivesCrash drives the two persist fault points: an
+// injected write error and a simulated crash between the temp write and the
+// rename. In both cases the previously published file must stay intact and
+// loadable.
+func TestSaveFileAtomicSurvivesCrash(t *testing.T) {
+	defer faultinject.Reset()
+	x, omega, l := testProblem(t, 100, 82)
+	first, err := Fit(x, omega, l, SMFL, quickCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.smfl")
+	if err := first.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quickCfg(4)
+	cfg.Seed = 99 // a distinguishable second model
+	second, err := Fit(x, omega, l, SMFL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: previous file no longer loads: %v", stage, err)
+		}
+		if !mat.EqualApprox(got.U, first.U, 0) {
+			t.Fatalf("%s: previous file content corrupted", stage)
+		}
+	}
+
+	// Injected I/O error mid-write: temp cleaned up, previous file intact.
+	werr := errors.New("injected disk error")
+	faultinject.Enable(faultinject.PersistWrite, faultinject.Fail(werr))
+	if err := second.SaveFile(path); !errors.Is(err, werr) {
+		t.Fatalf("SaveFile returned %v, want the injected write error", err)
+	}
+	faultinject.Reset()
+	check("write fault")
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(tmp) != 0 {
+		t.Fatalf("write fault left temp files behind: %v", tmp)
+	}
+
+	// Simulated crash between write and rename: previous file intact (the
+	// orphaned temp file is exactly what a real crash leaves).
+	cerr := errors.New("simulated crash before rename")
+	faultinject.Enable(faultinject.PersistRename, faultinject.Fail(cerr))
+	if err := second.SaveFile(path); !errors.Is(err, cerr) {
+		t.Fatalf("SaveFile returned %v, want the injected crash", err)
+	}
+	faultinject.Reset()
+	check("rename crash")
+
+	// With the faults cleared the same save publishes normally.
+	if err := second.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(got.U, second.U, 0) {
+		t.Fatal("clean save did not publish the new model")
+	}
+}
+
+// TestWireV3RoundTripsRobustnessFields: Partial, Recoveries and the
+// fault-tolerance config knobs must survive Save/Load.
+func TestWireV3RoundTripsRobustnessFields(t *testing.T) {
+	x, omega, l := testProblem(t, 80, 83)
+	cfg := quickCfg(3)
+	cfg.FoldInTol = 3e-7
+	cfg.CheckpointEvery = 7
+	cfg.WatchdogRetries = 9
+	cfg.WatchdogExplode = 250
+	model, err := Fit(x, omega, l, SMF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Partial = true
+	model.Recoveries = 4
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial || got.Recoveries != 4 {
+		t.Fatalf("Partial=%v Recoveries=%d after round trip", got.Partial, got.Recoveries)
+	}
+	c := got.Config
+	if c.FoldInTol != 3e-7 || c.CheckpointEvery != 7 || c.WatchdogRetries != 9 || c.WatchdogExplode != 250 {
+		t.Fatalf("fault-tolerance config lost: %+v", c)
 	}
 }

@@ -40,7 +40,10 @@ func AblationLandmarkSource(o Options) (*Table, error) {
 			cfg.LandmarkSource = s.src
 			imp := &impute.MF{Method: core.SMFL, Cfg: cfg}
 			spec := dataset.MissingSpec{Rate: o.MissingRate, KeepCompleteRows: keepRows(ds)}
-			out := o.runImputer(imp, ds, spec)
+			out, err := o.runImputer(cellKey("ablation-landmark-source", name, s.name), imp, ds, spec)
+			if err != nil {
+				return nil, err
+			}
 			o.logf("A3 / %s / %s: %s", name, s.name, out)
 			row = append(row, out.String())
 		}
@@ -71,13 +74,23 @@ func AblationUpdater(o Options) (*Table, error) {
 				cfg.Updater = upd
 				imp := &impute.MF{Method: method, Cfg: cfg}
 				spec := dataset.MissingSpec{Rate: o.MissingRate, KeepCompleteRows: keepRows(ds)}
-				out := o.runImputer(imp, ds, spec)
+				out, err := o.runImputer(cellKey("ablation-updater", name, method.String(), updaterName(upd)), imp, ds, spec)
+				if err != nil {
+					return nil, err
+				}
 				row = append(row, out.String())
 			}
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+func updaterName(u core.Updater) string {
+	if u == core.GradientDescent {
+		return "GD"
+	}
+	return "Multi"
 }
 
 // AblationGraphBuild (DESIGN.md A5, engineering) times the KD-tree vs

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -37,6 +38,15 @@ type Options struct {
 	Quiet bool
 	// Log receives progress lines (default: discarded).
 	Log io.Writer
+
+	// Ctx, when non-nil, cancels a running experiment between (and, for the
+	// MF methods, inside) cells; the error returned wraps core.ErrInterrupted.
+	// Combined with Journal, an interrupted sweep loses at most the cell in
+	// flight.
+	Ctx context.Context
+	// Journal, when non-nil, records each completed cell and skips cells
+	// already recorded — the resume mechanism behind `experiments -journal`.
+	Journal *Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +94,7 @@ func (o Options) mfConfig(m int, seed int64) core.Config {
 		MaxIter: o.MaxIter,
 		Tol:     1e-6,
 		Seed:    seed,
+		Ctx:     o.Ctx, // cancellation reaches into the MF fits themselves
 	}
 }
 

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/spatialmf/smfl/internal/core"
@@ -27,42 +29,75 @@ func (m methodOutcome) String() string {
 
 // runImputer averages the hidden-entry RMS of one imputer over o.Runs
 // injections, honoring the wall-clock budget and resource-limit errors.
-func (o Options) runImputer(imp impute.Imputer, ds *dataset.Dataset, spec dataset.MissingSpec) methodOutcome {
+// key names the cell for the journal: a journaled cell is returned without
+// recomputation, a freshly computed one is recorded before returning.
+// Cancellation (Options.Ctx) propagates as a non-nil error wrapping
+// core.ErrInterrupted — unlike method failures, which are table cells
+// ("ERR", "OOT", "OOM"), an interrupt abandons the table.
+func (o Options) runImputer(key string, imp impute.Imputer, ds *dataset.Dataset, spec dataset.MissingSpec) (methodOutcome, error) {
+	if o.Journal != nil {
+		if out, ok := o.Journal.Lookup(key); ok {
+			o.logf("%s: %s (journaled, skipped)", key, out)
+			return out, nil
+		}
+	}
+	done := func(out methodOutcome) (methodOutcome, error) {
+		if o.Journal != nil {
+			if err := o.Journal.Record(key, out); err != nil {
+				return out, fmt.Errorf("experiments: journal %s: %w", key, err)
+			}
+		}
+		return out, nil
+	}
 	var total float64
 	for r := 0; r < o.Runs; r++ {
+		if o.Ctx != nil {
+			if err := o.Ctx.Err(); err != nil {
+				return methodOutcome{}, fmt.Errorf("experiments: %s: %w: %w", key, core.ErrInterrupted, err)
+			}
+		}
 		spec.Seed = o.Seed + int64(r)
 		mask, err := dataset.InjectMissing(ds, spec)
 		if err != nil {
-			return methodOutcome{note: "ERR"}
+			return done(methodOutcome{note: "ERR"})
 		}
 		start := time.Now()
 		out, err := imp.Impute(ds.X, mask, ds.L)
 		if err != nil {
+			if errors.Is(err, core.ErrInterrupted) {
+				return methodOutcome{}, fmt.Errorf("experiments: %s: %w", key, err)
+			}
 			var rle *impute.ResourceLimitError
 			if errors.As(err, &rle) {
-				return methodOutcome{note: rle.Kind}
+				return done(methodOutcome{note: rle.Kind})
 			}
-			return methodOutcome{note: "ERR"}
+			return done(methodOutcome{note: "ERR"})
 		}
 		rms, err := metrics.RMSOverHidden(out, ds.X, mask)
 		if err != nil {
-			return methodOutcome{note: "ERR"}
+			return done(methodOutcome{note: "ERR"})
 		}
 		total += rms
 		if time.Since(start) > o.Budget {
 			if r == 0 {
-				return methodOutcome{note: "OOT"}
+				return done(methodOutcome{note: "OOT"})
 			}
-			return methodOutcome{rms: total / float64(r+1)}
+			return done(methodOutcome{rms: total / float64(r+1)})
 		}
 	}
-	return methodOutcome{rms: total / float64(o.Runs)}
+	return done(methodOutcome{rms: total / float64(o.Runs)})
+}
+
+// cellKey builds a stable journal key from an experiment ID and the cell
+// coordinates, e.g. "table7/Lake/SMFL/30%".
+func cellKey(parts ...string) string {
+	return strings.Join(parts, "/")
 }
 
 // imputationTable is the shared engine behind Tables IV and V: one row per
 // dataset, one column per method, with the missing-injection columns chosen
-// by spatialAlsoMissing.
-func (o Options) imputationTable(title string, spatialAlsoMissing bool) (*Table, error) {
+// by spatialAlsoMissing. id prefixes the journal keys.
+func (o Options) imputationTable(id, title string, spatialAlsoMissing bool) (*Table, error) {
 	o = o.withDefaults()
 	t := &Table{Title: title}
 	t.Header = append([]string{"Dataset"}, paperMethodNames()...)
@@ -83,7 +118,10 @@ func (o Options) imputationTable(title string, spatialAlsoMissing bool) (*Table,
 		}
 		row := []string{name}
 		for _, imp := range impute.PaperBaselines(o.Seed, o.mfConfig(m, o.Seed)) {
-			out := o.runImputer(imp, ds, spec)
+			out, err := o.runImputer(cellKey(id, name, imp.Name()), imp, ds, spec)
+			if err != nil {
+				return nil, err
+			}
 			o.logf("%s / %s: %s", name, imp.Name(), out)
 			row = append(row, out.String())
 		}
@@ -117,13 +155,13 @@ func keepRows(ds *dataset.Dataset) int {
 // Table4 reproduces Table IV: imputation RMS of all twelve methods on the
 // four datasets at 10% missing rate (non-SI columns).
 func Table4(o Options) (*Table, error) {
-	return o.imputationTable("Table IV: imputation RMS (missing rate 10%, SI observed)", false)
+	return o.imputationTable("table4", "Table IV: imputation RMS (missing rate 10%, SI observed)", false)
 }
 
 // Table5 reproduces Table V: as Table IV but the spatial-information columns
 // are injected with missing values too.
 func Table5(o Options) (*Table, error) {
-	return o.imputationTable("Table V: imputation RMS when spatial information is also missing", true)
+	return o.imputationTable("table5", "Table V: imputation RMS when spatial information is also missing", true)
 }
 
 // Table7 reproduces Table VII: NMF/SMF/SMFL RMS across missing rates
@@ -147,7 +185,10 @@ func Table7(o Options) (*Table, error) {
 			row := []string{name, method.String()}
 			for _, rate := range rates {
 				spec := dataset.MissingSpec{Rate: rate, KeepCompleteRows: keepRows(ds)}
-				out := o.runImputer(imp, ds, spec)
+				out, err := o.runImputer(cellKey("table7", name, method.String(), fmt.Sprintf("%.0f%%", rate*100)), imp, ds, spec)
+				if err != nil {
+					return nil, err
+				}
 				o.logf("%s / %s / %.0f%%: %s", name, method, rate*100, out)
 				row = append(row, out.String())
 			}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// countingImputer wraps the column-mean behavior with a call counter, so the
+// tests can prove a journaled cell was skipped rather than recomputed.
+type countingImputer struct{ calls int }
+
+func (c *countingImputer) Name() string { return "counting" }
+
+func (c *countingImputer) Impute(x *mat.Dense, omega *mat.Mask, l int) (*mat.Dense, error) {
+	c.calls++
+	return x.Clone(), nil
+}
+
+func journalProblem(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "journal", N: 60, M: 5, L: 2,
+		Latents: 2, Bumps: 2, Clusters: 2, Noise: 0.02, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return res.Data
+}
+
+func TestJournalSkipsCompletedCells(t *testing.T) {
+	ds := journalProblem(t)
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	o := tinyOpts()
+
+	j, err := OpenJournal(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Journal = j
+	imp := &countingImputer{}
+	spec := dataset.MissingSpec{Rate: 0.1, KeepCompleteRows: 10}
+	first, err := o.runImputer("t/ds/m", imp, ds, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.calls != o.Runs {
+		t.Fatalf("fresh cell ran %d times, want %d", imp.calls, o.Runs)
+	}
+	again, err := o.runImputer("t/ds/m", imp, ds, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.calls != o.Runs {
+		t.Fatalf("journaled cell was recomputed (%d calls)", imp.calls)
+	}
+	if again != first {
+		t.Fatalf("journaled outcome %v differs from computed %v", again, first)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process (new Journal over the same file) still skips.
+	j2, err := OpenJournal(path, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("reloaded journal has %d cells, want 1", j2.Len())
+	}
+	o.Journal = j2
+	if _, err := o.runImputer("t/ds/m", imp, ds, spec); err != nil {
+		t.Fatal(err)
+	}
+	if imp.calls != o.Runs {
+		t.Fatal("cell recomputed after journal reload")
+	}
+}
+
+func TestJournalRejectsMismatchedOptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	o := tinyOpts()
+	j, err := OpenJournal(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	other := o
+	other.Seed = 42
+	if _, err := OpenJournal(path, other); err == nil {
+		t.Fatal("journal accepted a run with a different seed")
+	}
+}
+
+func TestJournalToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	o := tinyOpts()
+	j, err := OpenJournal(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a/b/c", methodOutcome{rms: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a/b/d", methodOutcome{note: "OOT"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Chop the file mid-way through the final record — a crash mid-append.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, o)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup("a/b/c"); !ok {
+		t.Fatal("intact cell lost")
+	}
+	if _, ok := j2.Lookup("a/b/d"); ok {
+		t.Fatal("torn cell must not be trusted")
+	}
+
+	// Corruption anywhere else is refused loudly.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, append([]byte("garbage line\n"), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(bad, o); err == nil {
+		t.Fatal("mid-file corruption must be refused")
+	}
+}
+
+// TestSweepResumesFromJournal runs a real (tiny) sweep twice against one
+// journal: the rerun must reproduce the table exactly without appending any
+// new cells — every cell came from the journal.
+func TestSweepResumesFromJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	o := tinyOpts()
+	o.MaxIter = 10
+
+	j, err := OpenJournal(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Journal = j
+	tab1, err := AblationLandmarkSource(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Journal = j2
+	tab2, err := AblationLandmarkSource(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(tab1.Rows, tab2.Rows) {
+		t.Fatalf("rerun produced different rows:\n%v\nvs\n%v", tab1.Rows, tab2.Rows)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("rerun appended %d bytes — cells were recomputed", len(after)-len(before))
+	}
+}
+
+// TestSweepCancellation: a cancelled context aborts an experiment with
+// core.ErrInterrupted; the journal keeps whatever finished.
+func TestSweepCancellation(t *testing.T) {
+	o := tinyOpts()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o.Ctx = ctx
+	if _, err := AblationLandmarkSource(o); !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("got %v, want core.ErrInterrupted", err)
+	}
+}

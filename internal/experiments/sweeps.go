@@ -12,8 +12,9 @@ import (
 var sweepDatasets = []string{"Economic", "Lake"}
 
 // paramSweep runs SMF and SMFL over a parameter grid, producing one row per
-// (dataset, method) and one column per grid value.
-func (o Options) paramSweep(title, param string, values []string, configure func(cfg *core.Config, idx int)) (*Table, error) {
+// (dataset, method) and one column per grid value. id prefixes the journal
+// keys.
+func (o Options) paramSweep(id, title, param string, values []string, configure func(cfg *core.Config, idx int)) (*Table, error) {
 	o = o.withDefaults()
 	t := &Table{Title: title, Header: append([]string{"Dataset", "Method"}, values...)}
 	for _, name := range sweepDatasets {
@@ -30,7 +31,10 @@ func (o Options) paramSweep(title, param string, values []string, configure func
 				configure(&cfg, idx)
 				imp := &impute.MF{Method: method, Cfg: cfg}
 				spec := dataset.MissingSpec{Rate: o.MissingRate, KeepCompleteRows: keepRows(ds)}
-				out := o.runImputer(imp, ds, spec)
+				out, err := o.runImputer(cellKey(id, name, method.String(), values[idx]), imp, ds, spec)
+				if err != nil {
+					return nil, err
+				}
 				o.logf("%s / %s / %s=%s: %s", name, method, param, values[idx], out)
 				row = append(row, out.String())
 			}
@@ -48,7 +52,7 @@ func Fig6(o Options) (*Table, error) {
 	for i, l := range lambdas {
 		labels[i] = fmt.Sprintf("%g", l)
 	}
-	return o.paramSweep("Fig. 6: varying the regularization parameter λ", "λ", labels,
+	return o.paramSweep("fig6", "Fig. 6: varying the regularization parameter λ", "λ", labels,
 		func(cfg *core.Config, idx int) { cfg.Lambda = lambdas[idx] })
 }
 
@@ -60,7 +64,7 @@ func Fig7(o Options) (*Table, error) {
 	for i, p := range ps {
 		labels[i] = fmt.Sprintf("%d", p)
 	}
-	return o.paramSweep("Fig. 7: varying the number of spatial nearest neighbors p", "p", labels,
+	return o.paramSweep("fig7", "Fig. 7: varying the number of spatial nearest neighbors p", "p", labels,
 		func(cfg *core.Config, idx int) { cfg.P = ps[idx] })
 }
 
@@ -71,6 +75,6 @@ func Fig8(o Options) (*Table, error) {
 	for i, k := range ks {
 		labels[i] = fmt.Sprintf("%d", k)
 	}
-	return o.paramSweep("Fig. 8: varying the number of landmarks K", "K", labels,
+	return o.paramSweep("fig8", "Fig. 8: varying the number of landmarks K", "K", labels,
 		func(cfg *core.Config, idx int) { cfg.K = ks[idx] })
 }

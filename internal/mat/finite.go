@@ -1,0 +1,45 @@
+package mat
+
+import "sync/atomic"
+
+// FiniteAll reports whether every element of every given matrix is finite
+// (neither NaN nor ±Inf). All matrices are scanned in a single pooled
+// dispatch over their concatenated index space, so the training watchdog can
+// screen both factors with one pool round-trip per iteration; the chunks
+// short-circuit once any worker has found a bad value.
+func FiniteAll(ms ...*Dense) bool {
+	total := 0
+	for _, m := range ms {
+		total += len(m.data)
+	}
+	if total == 0 {
+		return true
+	}
+	var bad atomic.Bool
+	ParallelRange(total, total, func(lo, hi int) {
+		if bad.Load() {
+			return
+		}
+		base := 0
+		for _, m := range ms {
+			n := len(m.data)
+			s, e := lo-base, hi-base
+			base += n
+			if s < 0 {
+				s = 0
+			}
+			if e > n {
+				e = n
+			}
+			for i := s; i < e; i++ {
+				// v-v is 0 for finite values and NaN for NaN and ±Inf,
+				// folding both tests into one floating-point op.
+				if v := m.data[i]; v-v != 0 {
+					bad.Store(true)
+					return
+				}
+			}
+		}
+	})
+	return !bad.Load()
+}

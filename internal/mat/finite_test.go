@@ -1,0 +1,57 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFiniteAll(t *testing.T) {
+	if !FiniteAll() {
+		t.Fatal("no matrices should be finite")
+	}
+	if !FiniteAll(NewDense(0, 0), NewDense(3, 0)) {
+		t.Fatal("empty matrices should be finite")
+	}
+	a := NewDense(4, 5)
+	b := NewDense(2, 3)
+	if !FiniteAll(a, b) {
+		t.Fatal("zero matrices should be finite")
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b.Set(1, 2, bad)
+		if FiniteAll(a, b) {
+			t.Fatalf("missed %v in second matrix", bad)
+		}
+		if FiniteAll(b) {
+			t.Fatalf("missed %v in single matrix", bad)
+		}
+		b.Set(1, 2, 0)
+	}
+	a.Set(0, 0, math.NaN())
+	if FiniteAll(a, b) {
+		t.Fatal("missed NaN in first matrix")
+	}
+}
+
+// TestFiniteAllLargeEveryPosition pushes the scan over the parallel cutover
+// and checks no position is skipped by the chunk arithmetic.
+func TestFiniteAllLargeEveryPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomUniform(rng, 117, 53, 0, 1)
+	b := RandomUniform(rng, 64, 200, 0, 1)
+	if !FiniteAll(a, b) {
+		t.Fatal("finite random matrices reported non-finite")
+	}
+	for _, probe := range []struct{ m *Dense }{{a}, {b}} {
+		d := probe.m.Data()
+		for _, pos := range []int{0, 1, len(d) / 2, len(d) - 2, len(d) - 1, rng.Intn(len(d))} {
+			old := d[pos]
+			d[pos] = math.NaN()
+			if FiniteAll(a, b) {
+				t.Fatalf("missed NaN at flat position %d", pos)
+			}
+			d[pos] = old
+		}
+	}
+}

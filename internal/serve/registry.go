@@ -23,6 +23,11 @@ var (
 	// ErrNoPreviousVersion is returned by Rollback when the active version
 	// is already the oldest retained one.
 	ErrNoPreviousVersion = errors.New("serve: no previous version to roll back to")
+	// ErrPartialModel is returned by Register/LoadFile for a model tagged
+	// Partial — the best-so-far state of an interrupted or diverged fit.
+	// Such files exist to be resumed or inspected, not served; finish the
+	// training run (smfl -resume) before deploying.
+	ErrPartialModel = errors.New("serve: model is a partial training artifact")
 )
 
 // Config tunes the serving layer. Zero values take the defaults below.
@@ -112,6 +117,9 @@ func (r *Registry) Register(name string, model *core.Model, path string) (*Entry
 	if model == nil || model.V == nil {
 		return nil, fmt.Errorf("serve: model %q is unfitted", name)
 	}
+	if model.Partial {
+		return nil, fmt.Errorf("%w: %q", ErrPartialModel, name)
+	}
 	var norm *dataset.Normalizer
 	if model.Norm != nil {
 		_, cols := model.V.Dims()
@@ -157,7 +165,8 @@ func (r *Registry) Register(name string, model *core.Model, path string) (*Entry
 	return entry, nil
 }
 
-// LoadFile reads a .smfl model file (wire v1 or v2) and registers it.
+// LoadFile reads a .smfl model file (any supported wire version) and
+// registers it. Partial training artifacts are refused with ErrPartialModel.
 func (r *Registry) LoadFile(name, path string) (*Entry, error) {
 	model, err := core.LoadFile(path)
 	if err != nil {

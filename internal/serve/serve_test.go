@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -686,5 +687,41 @@ func TestServerReloadRollbackUnderLoad(t *testing.T) {
 	}
 	if _, resp := postImpute(t, client, ts.URL+"/v1/models/air/impute?version=two", imputeRequest{Rows: [][]*float64{fullRow(orig, tail)}}); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed pin: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRegistryRefusesPartialModels covers the guard against deploying an
+// interrupted or diverged training artifact: Register and LoadFile must both
+// classify the rejection as ErrPartialModel, and the registry must stay
+// empty afterwards.
+func TestRegistryRefusesPartialModels(t *testing.T) {
+	path, _, _ := fixture(t)
+	model, err := core.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Partial = true
+	partialPath := filepath.Join(t.TempDir(), "partial.smfl")
+	if err := model.SaveFile(partialPath); err != nil {
+		t.Fatal(err)
+	}
+
+	registry := NewRegistry(Config{Window: time.Millisecond}, nil)
+	defer registry.Close()
+	if _, err := registry.Register("air", model, partialPath); !errors.Is(err, ErrPartialModel) {
+		t.Fatalf("Register(partial) error = %v, want ErrPartialModel", err)
+	}
+	if _, err := registry.LoadFile("air", partialPath); !errors.Is(err, ErrPartialModel) {
+		t.Fatalf("LoadFile(partial) error = %v, want ErrPartialModel", err)
+	}
+	if registry.Len() != 0 {
+		t.Fatalf("registry has %d models after refused registrations, want 0", registry.Len())
+	}
+
+	// The same file resumes/loads fine outside the serving layer and, once the
+	// partial tag is cleared (a finished training run), registers normally.
+	model.Partial = false
+	if _, err := registry.Register("air", model, partialPath); err != nil {
+		t.Fatalf("Register(completed) error = %v", err)
 	}
 }

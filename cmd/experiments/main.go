@@ -68,16 +68,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		quiet := fs.Bool("quiet", false, "suppress progress lines")
 		format := fs.String("format", "table", "output format: table | csv")
 		journalPath := fs.String("journal", "", "JSONL cell journal: record completed cells, skip them on rerun")
+		spatialIndex := fs.String("spatial-index", "exact", "p-NN graph backend for every fit: exact | landmark")
 		if err := fs.Parse(args[2:]); err != nil {
 			return err
 		}
 		if *format != "table" && *format != "csv" {
 			return fmt.Errorf("unknown format %q", *format)
 		}
+		six, err := core.ParseSpatialIndex(*spatialIndex)
+		if err != nil {
+			return err
+		}
 		opts := experiments.Options{
 			Scale: *scale, Runs: *runs, Seed: *seed,
 			MaxIter: *maxIter, Budget: *budget,
-			Quiet: *quiet, Log: stderr, Ctx: ctx,
+			SpatialIndex: six,
+			Quiet:        *quiet, Log: stderr, Ctx: ctx,
 		}
 		if *journalPath != "" {
 			journal, err := experiments.OpenJournal(*journalPath, opts)

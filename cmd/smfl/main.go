@@ -79,6 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	checkpointEvery := fs.Int("checkpoint-every", 25, "impute: checkpoint cadence in iterations")
 	resume := fs.Bool("resume", false, "impute: continue the fit from -checkpoint instead of starting over")
 	foldinTol := fs.Float64("foldin-tol", 0, "foldin: per-row convergence tolerance (0 = model default)")
+	spatialIndex := fs.String("spatial-index", "exact", "p-NN graph backend: exact | landmark (sub-quadratic, recommended for large N)")
 	verbose := fs.Bool("v", false, "report wall-clock fit time and iteration count")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -90,9 +91,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	six, err := core.ParseSpatialIndex(*spatialIndex)
+	if err != nil {
+		return err
+	}
 	cfg := core.Config{
 		K: *k, Lambda: *lambda, P: *p, Seed: *seed, MaxIter: *maxIter, Tol: *tol,
-		Ctx: ctx, CheckpointPath: *checkpoint, CheckpointEvery: *checkpointEvery,
+		SpatialIndex: six,
+		Ctx:          ctx, CheckpointPath: *checkpoint, CheckpointEvery: *checkpointEvery,
 	}
 	if *resume && *checkpoint == "" {
 		return errors.New("-resume requires -checkpoint")

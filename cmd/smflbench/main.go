@@ -6,7 +6,11 @@
 //
 // Times are medians over -runs repetitions of core.Fit (method SMFL unless
 // -method overrides) plus a batched FoldIn of -foldrows fresh rows, so one
-// file captures both halves of the serving story. The worker-pool width
+// file captures both halves of the serving story. -spatial-index switches
+// the fits onto the landmark graph path, and -graph-ns sweeps p-NN graph
+// construction alone across row counts, timing the Proposition-1 quadratic
+// scan (extrapolated), the KD-tree build, and the landmark index side by
+// side with the landmark graph's edge recall. The worker-pool width
 // (SMFL_WORKERS or GOMAXPROCS) is recorded alongside the numbers because the
 // pooled kernels make timings machine-dependent.
 package main
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -26,7 +31,9 @@ import (
 
 	"github.com/spatialmf/smfl/internal/core"
 	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/landmark"
 	"github.com/spatialmf/smfl/internal/mat"
+	"github.com/spatialmf/smfl/internal/spatial"
 )
 
 func main() {
@@ -38,16 +45,31 @@ func main() {
 
 // Report is the top-level JSON document.
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Workers   int      `json:"workers"`
-	Scale     float64  `json:"scale"`
-	Method    string   `json:"method"`
-	K         int      `json:"k"`
-	MaxIter   int      `json:"maxiter"`
-	Runs      int      `json:"runs"`
-	Results   []Result `json:"results"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	Workers      int           `json:"workers"`
+	Scale        float64       `json:"scale"`
+	Method       string        `json:"method"`
+	K            int           `json:"k"`
+	MaxIter      int           `json:"maxiter"`
+	Runs         int           `json:"runs"`
+	SpatialIndex string        `json:"spatial_index"`
+	Results      []Result      `json:"results"`
+	GraphSweep   []GraphResult `json:"graph_sweep,omitempty"`
+}
+
+// GraphResult is one row of the graph-construction sweep: all three p-NN
+// backends over the same clustered synthetic SI. The quadratic time is
+// extrapolated from a query sample (running all N Proposition-1 scans at
+// large N would take minutes); the other two are measured outright.
+type GraphResult struct {
+	N                  int     `json:"n"`
+	P                  int     `json:"p"`
+	QuadraticMillisEst float64 `json:"quadratic_ms_est"`
+	KDTreeMillis       float64 `json:"kdtree_ms"`
+	LandmarkMillis     float64 `json:"landmark_ms"`
+	LandmarkRecall     float64 `json:"landmark_recall"`
 }
 
 // Result is one dataset × missing-rate cell.
@@ -75,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runs := fs.Int("runs", 3, "repetitions per cell (median reported)")
 	foldRows := fs.Int("foldrows", 32, "rows folded in per cell (0 disables)")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	spatialIndex := fs.String("spatial-index", "exact", "p-NN graph backend for the fit cells: exact | landmark")
+	graphNs := fs.String("graph-ns", "1000,10000,50000", "graph-construction sweep sizes (empty disables)")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,20 +107,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	six, err := core.ParseSpatialIndex(*spatialIndex)
+	if err != nil {
+		return err
+	}
 	if *runs < 1 {
 		return errors.New("-runs must be at least 1")
 	}
 
 	rep := Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Workers:   mat.Workers(),
-		Scale:     *scale,
-		Method:    strings.ToUpper(*methodName),
-		K:         *k,
-		MaxIter:   *maxIter,
-		Runs:      *runs,
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		Workers:      mat.Workers(),
+		Scale:        *scale,
+		Method:       strings.ToUpper(*methodName),
+		K:            *k,
+		MaxIter:      *maxIter,
+		Runs:         *runs,
+		SpatialIndex: six.String(),
 	}
 	for _, name := range splitList(*names) {
 		for _, rateStr := range splitList(*rates) {
@@ -104,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("bad rate %q: %v", rateStr, err)
 			}
-			res, err := benchCell(name, *scale, rate, method, *k, *maxIter, *runs, *foldRows, *seed)
+			res, err := benchCell(name, *scale, rate, method, *k, *maxIter, *runs, *foldRows, *seed, six)
 			if err != nil {
 				return err
 			}
@@ -112,6 +141,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 				name, rate, res.FitMillis, res.FitIters)
 			rep.Results = append(rep.Results, res)
 		}
+	}
+	for _, nStr := range splitList(*graphNs) {
+		n, err := strconv.Atoi(nStr)
+		if err != nil {
+			return fmt.Errorf("bad graph sweep size %q: %v", nStr, err)
+		}
+		g, err := benchGraph(n, 10, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "smflbench: graph N=%-6d quadratic≈%.0fms kdtree=%.1fms landmark=%.1fms recall=%.3f\n",
+			g.N, g.QuadraticMillisEst, g.KDTreeMillis, g.LandmarkMillis, g.LandmarkRecall)
+		rep.GraphSweep = append(rep.GraphSweep, g)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -126,7 +168,109 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return os.WriteFile(*out, enc, 0o644)
 }
 
-func benchCell(name string, scale, rate float64, method core.Method, k, maxIter, runs, foldRows int, seed int64) (Result, error) {
+// benchGraph times the three p-NN graph backends over n clustered 2-D
+// points. The Proposition-1 quadratic scan is timed over a deterministic
+// sample of queries and extrapolated linearly (per-query cost is constant in
+// the query index); KD-tree and landmark builds run in full.
+func benchGraph(n, p int, seed int64) (GraphResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const dim = 2
+	centers := mat.RandomUniform(rng, 20, dim, -10, 10)
+	si := mat.NewDense(n, dim)
+	for i := 0; i < n; i++ {
+		c := centers.Row(i % 20)
+		for j := 0; j < dim; j++ {
+			si.Set(i, j, c[j]+0.8*rng.NormFloat64())
+		}
+	}
+
+	sample := 128
+	if sample > n {
+		sample = n
+	}
+	d2 := make([]float64, p)
+	start := time.Now()
+	for s := 0; s < sample; s++ {
+		q := s * (n / sample)
+		qx := si.Row(q)
+		top := d2[:0]
+		worst := 0
+		for i := 0; i < n; i++ {
+			if i == q {
+				continue
+			}
+			var v float64
+			for j, c := range si.Row(i) {
+				dd := qx[j] - c
+				v += dd * dd
+			}
+			if len(top) < p {
+				top = append(top, v)
+				if len(top) == p {
+					for t := 1; t < p; t++ {
+						if top[t] > top[worst] {
+							worst = t
+						}
+					}
+				}
+				continue
+			}
+			if v < top[worst] {
+				top[worst] = v
+				worst = 0
+				for t := 1; t < p; t++ {
+					if top[t] > top[worst] {
+						worst = t
+					}
+				}
+			}
+		}
+	}
+	quadEst := float64(time.Since(start).Microseconds()) / float64(sample) * float64(n) / 1e3
+
+	start = time.Now()
+	exact, err := spatial.BuildGraph(si, p, spatial.KDTreeMode)
+	if err != nil {
+		return GraphResult{}, err
+	}
+	kdMillis := float64(time.Since(start).Microseconds()) / 1e3
+
+	start = time.Now()
+	ix, err := landmark.Build(si, landmark.Config{Seed: seed})
+	if err != nil {
+		return GraphResult{}, err
+	}
+	approx, err := ix.PNNGraph(p)
+	if err != nil {
+		return GraphResult{}, err
+	}
+	lmMillis := float64(time.Since(start).Microseconds()) / 1e3
+
+	hits, total := 0, 0
+	for i := 0; i < n; i++ {
+		for _, j := range exact.Neighbors(i) {
+			if int32(i) < j {
+				total++
+				if approx.Connected(i, int(j)) {
+					hits++
+				}
+			}
+		}
+	}
+	recall := 1.0
+	if total > 0 {
+		recall = float64(hits) / float64(total)
+	}
+	return GraphResult{
+		N: n, P: p,
+		QuadraticMillisEst: quadEst,
+		KDTreeMillis:       kdMillis,
+		LandmarkMillis:     lmMillis,
+		LandmarkRecall:     recall,
+	}, nil
+}
+
+func benchCell(name string, scale, rate float64, method core.Method, k, maxIter, runs, foldRows int, seed int64, six core.SpatialIndex) (Result, error) {
 	res, err := dataset.ByName(name, scale, seed)
 	if err != nil {
 		return Result{}, err
@@ -139,7 +283,7 @@ func benchCell(name string, scale, rate float64, method core.Method, k, maxIter,
 		return Result{}, err
 	}
 	n, m := res.Data.Dims()
-	cfg := core.Config{K: k, Lambda: 0.1, P: 3, MaxIter: maxIter, Tol: 1e-9, Seed: seed}
+	cfg := core.Config{K: k, Lambda: 0.1, P: 3, MaxIter: maxIter, Tol: 1e-9, Seed: seed, SpatialIndex: six}
 
 	var model *core.Model
 	fitTimes := make([]float64, runs)

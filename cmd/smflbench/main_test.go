@@ -13,7 +13,7 @@ func TestRunWritesReport(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	err := run([]string{
 		"-datasets", "Economic", "-rates", "0.5", "-scale", "0.01",
-		"-maxiter", "10", "-runs", "1", "-foldrows", "4", "-out", out,
+		"-maxiter", "10", "-runs", "1", "-foldrows", "4", "-graph-ns", "400", "-out", out,
 	}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
@@ -42,13 +42,29 @@ func TestRunWritesReport(t *testing.T) {
 	if rep.Workers < 1 {
 		t.Fatalf("workers not recorded: %+v", rep)
 	}
+	if rep.SpatialIndex != "exact" {
+		t.Fatalf("spatial index not recorded: %+v", rep)
+	}
+	if len(rep.GraphSweep) != 1 {
+		t.Fatalf("got %d graph sweep rows, want 1", len(rep.GraphSweep))
+	}
+	g := rep.GraphSweep[0]
+	if g.N != 400 || g.P != 10 {
+		t.Fatalf("unexpected graph sweep row %+v", g)
+	}
+	if g.QuadraticMillisEst <= 0 || g.KDTreeMillis <= 0 || g.LandmarkMillis <= 0 {
+		t.Fatalf("graph backends not timed: %+v", g)
+	}
+	if g.LandmarkRecall <= 0 || g.LandmarkRecall > 1 {
+		t.Fatalf("recall out of range: %+v", g)
+	}
 }
 
 func TestRunStdoutAndBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	err := run([]string{
 		"-datasets", "Economic", "-rates", "0.1", "-scale", "0.01",
-		"-maxiter", "5", "-runs", "1", "-foldrows", "0",
+		"-maxiter", "5", "-runs", "1", "-foldrows", "0", "-graph-ns", "",
 	}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run to stdout: %v", err)
@@ -60,12 +76,22 @@ func TestRunStdoutAndBadFlags(t *testing.T) {
 	if rep.Results[0].FoldInRows != 0 {
 		t.Fatalf("-foldrows 0 should disable fold-in: %+v", rep.Results[0])
 	}
+	if len(rep.GraphSweep) != 0 {
+		t.Fatalf("-graph-ns '' should disable the sweep: %+v", rep.GraphSweep)
+	}
 
 	if err := run([]string{"-rates", "nope"}, &stdout, &stderr); err == nil {
 		t.Fatal("bad -rates accepted")
 	}
 	if err := run([]string{"-method", "bogus"}, &stdout, &stderr); err == nil {
 		t.Fatal("bad -method accepted")
+	}
+	if err := run([]string{"-spatial-index", "bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -spatial-index accepted")
+	}
+	if err := run([]string{"-datasets", "Economic", "-rates", "0.1", "-scale", "0.01",
+		"-maxiter", "5", "-runs", "1", "-graph-ns", "nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -graph-ns accepted")
 	}
 	if err := run([]string{"-datasets", "Nope", "-rates", "0.1", "-scale", "0.01"}, &stdout, &stderr); err == nil {
 		t.Fatal("unknown dataset accepted")

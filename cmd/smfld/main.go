@@ -123,8 +123,12 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 			return err
 		}
 		k, cols := entry.Model.V.Dims()
-		fmt.Fprintf(stderr, "smfld: serving %q (%s, K=%d, %d columns, norm=%v) from %s\n",
-			m.name, entry.Model.Method, k, cols, entry.Norm != nil, m.path)
+		placer := "none"
+		if p := entry.Model.Placer; p != nil {
+			placer = fmt.Sprintf("%d landmarks", p.Landmarks())
+		}
+		fmt.Fprintf(stderr, "smfld: serving %q (%s, K=%d, %d columns, norm=%v, placer=%s) from %s\n",
+			m.name, entry.Model.Method, k, cols, entry.Norm != nil, placer, m.path)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

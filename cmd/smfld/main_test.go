@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -107,6 +108,91 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || out.Filled != 1 || out.Units != "original" {
+		t.Fatalf("impute: status %d body %+v", resp.StatusCode, out)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestRunServesLandmarkModel fits with the landmark spatial index, saves the
+// model, and serves it end to end: the placer must survive the save/load
+// round trip into the registry (visible in the startup log) and imputation
+// must still work through the daemon.
+func TestRunServesLandmarkModel(t *testing.T) {
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "smfld-lm", N: 200, M: 5, L: 2,
+		Latents: 2, Bumps: 3, Clusters: 3, Noise: 0.02, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := res.Data.X.Clone()
+	nz, err := res.Data.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Fit(res.Data.X, nil, 2, core.SMFL,
+		core.Config{K: 4, MaxIter: 80, Seed: 11, SpatialIndex: core.SpatialLandmark})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Placer == nil {
+		t.Fatal("landmark fit did not attach a placer")
+	}
+	model.Norm = &core.Norm{Mins: nz.Mins, Maxs: nz.Maxs}
+	path := filepath.Join(t.TempDir(), "m.smfl")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan string, 1)
+	var stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-model", "m=" + path},
+			&stderr, func(addr string) { addrs <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrs:
+	case err := <-done:
+		t.Fatalf("run exited early: %v (stderr %s)", err, stderr.String())
+	}
+	if log := stderr.String(); !strings.Contains(log, "landmarks") {
+		t.Fatalf("startup log does not report the placer: %s", log)
+	}
+
+	cells := make([]any, orig.Cols())
+	for j := range cells {
+		cells[j] = orig.At(0, j)
+	}
+	cells[3] = nil
+	body, err := json.Marshal(map[string]any{"rows": []any{cells}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/models/m/impute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Filled int `json:"filled"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Filled != 1 {
 		t.Fatalf("impute: status %d body %+v", resp.StatusCode, out)
 	}
 

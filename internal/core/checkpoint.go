@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 
+	"github.com/spatialmf/smfl/internal/landmark"
 	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/spatial"
 )
@@ -171,9 +172,10 @@ func ResumeFit(path string, x *mat.Dense, omega *mat.Mask, opts *ResumeOptions) 
 
 	rx := omega.Project(nil, x)
 	var graph *spatial.Graph
+	var ix *landmark.Index
 	if model.Method != NMF {
 		si := siFilled(x, omega, model.L)
-		if graph, err = spatial.BuildGraph(si, cfg.P, cfg.GraphMode); err != nil {
+		if graph, ix, err = buildSpatial(si, model.Method, cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -182,7 +184,7 @@ func ResumeFit(path string, x *mat.Dense, omega *mat.Mask, opts *ResumeOptions) 
 	tr.stepScale = ck.StepScale
 	tr.jitter = ck.Jitter
 	tr.begin(model)
-	return runFit(model, tr, x, rx, omega, graph)
+	return runFit(model, tr, x, rx, omega, graph, ix)
 }
 
 // fitHash binds a checkpoint to its training run: FNV-1a over the data
@@ -229,5 +231,6 @@ func fitHash(x *mat.Dense, omega *mat.Mask, method Method, l int, cfg Config) ui
 	wi(int64(cfg.Updater))
 	wi(int64(cfg.LandmarkSource))
 	wi(int64(cfg.GraphMode))
+	wi(int64(cfg.SpatialIndex))
 	return h.Sum64()
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/spatialmf/smfl/internal/landmark"
 	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/spatial"
 )
@@ -103,6 +104,46 @@ const (
 	UniformGrid
 )
 
+// SpatialIndex selects the backend that turns the SI block into the p-NN
+// similarity graph of Formula 3 (and, under SMFL, sources the landmark
+// matrix C).
+type SpatialIndex int
+
+const (
+	// SpatialExact computes exact p-NN lists over all N rows with the
+	// backend picked by Config.GraphMode (KD-tree, or the quadratic
+	// Proposition-1 scan). The default.
+	SpatialExact SpatialIndex = iota
+	// SpatialLandmark routes graph construction through the sub-quadratic
+	// landmark-bucket index (internal/landmark): ⌈√N⌉ landmark rows bucket
+	// the data, candidate generation searches only rows sharing nearby
+	// landmarks, and the fitted model carries an O(L) Placer so fold-in
+	// rows get spatial context without touching any N-sized structure.
+	SpatialLandmark
+)
+
+// String implements fmt.Stringer with the flag spellings.
+func (s SpatialIndex) String() string {
+	switch s {
+	case SpatialExact:
+		return "exact"
+	case SpatialLandmark:
+		return "landmark"
+	}
+	return fmt.Sprintf("SpatialIndex(%d)", int(s))
+}
+
+// ParseSpatialIndex maps the flag spellings onto the enum.
+func ParseSpatialIndex(s string) (SpatialIndex, error) {
+	switch s {
+	case "exact":
+		return SpatialExact, nil
+	case "landmark":
+		return SpatialLandmark, nil
+	}
+	return 0, fmt.Errorf("core: unknown spatial index %q (want exact or landmark)", s)
+}
+
 // Config holds the hyperparameters of the model family. Zero values are
 // replaced by paper defaults in (*Config).withDefaults.
 type Config struct {
@@ -120,7 +161,12 @@ type Config struct {
 
 	Updater        Updater
 	LandmarkSource LandmarkSource
-	GraphMode      spatial.BuildMode // KD-tree by default
+	GraphMode      spatial.BuildMode // exact backend: KD-tree by default
+	// SpatialIndex picks the spatial backend (exact by default). With
+	// SpatialLandmark, GraphMode is ignored, SMFL reuses the index's
+	// landmark selection for C (when LandmarkSource is KMeansCenters), and
+	// the fitted model gains a Placer for O(L) fold-in placement.
+	SpatialIndex SpatialIndex
 
 	// FoldInTol is the per-row relative objective-change tolerance that
 	// freezes a converged row in batched FoldIn (default 1e-8, the value
@@ -267,6 +313,13 @@ type Model struct {
 	// Norm, when non-nil, is the training normalization (saved since wire
 	// version 2; nil for models loaded from v1 files).
 	Norm *Norm
+
+	// Placer, when non-nil, is the O(L) landmark placement model attached
+	// by fits run with SpatialIndex == SpatialLandmark (saved since wire
+	// version 4). FoldIn uses it to warm-start new rows from the trained
+	// coefficients of their nearest landmarks; the serving layer uses it to
+	// report spatial context. It references nothing of size N.
+	Placer *landmark.Placer
 
 	Objective []float64 // objective value after each iteration
 	Iters     int       // iterations actually run

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/spatialmf/smfl/internal/landmark"
 	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/spatial"
 )
@@ -55,21 +56,30 @@ func Fit(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*Mode
 
 	// Spatial structure (SMF and SMFL only).
 	var graph *spatial.Graph
+	var ix *landmark.Index
 	var si *mat.Dense
 	if method != NMF {
 		si = siFilled(x, omega, l)
-		g, err := spatial.BuildGraph(si, cfg.P, cfg.GraphMode)
+		var err error
+		graph, ix, err = buildSpatial(si, method, cfg)
 		if err != nil {
 			return nil, err
 		}
-		graph = g
 	}
 
-	// Landmarks (SMFL only).
+	// Landmarks (SMFL only). Under the landmark index with the paper's
+	// K-means source, C comes from weighted K-means over the index's
+	// landmark coreset (landmark coordinates weighted by bucket population)
+	// instead of a second full pass over N — one landmark set serves both
+	// the spatial index and the landmark columns of V.
 	var c *mat.Dense
 	if method == SMFL {
 		var err error
-		c, err = generateLandmarks(si, cfg)
+		if ix != nil && cfg.LandmarkSource == KMeansCenters {
+			c, err = ix.KCenters(cfg.K, cfg.KMeansMaxIter, cfg.Seed)
+		} else {
+			c, err = generateLandmarks(si, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -86,14 +96,45 @@ func Fit(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*Mode
 		tr.hash = fitHash(x, omega, method, l, cfg)
 	}
 	tr.begin(model)
-	return runFit(model, tr, x, rx, omega, graph)
+	return runFit(model, tr, x, rx, omega, graph, ix)
+}
+
+// buildSpatial constructs the p-NN graph over si behind the SpatialIndex
+// seam. Exact mode delegates to spatial.BuildGraph under cfg.GraphMode;
+// landmark mode builds the sub-quadratic landmark-bucket index and derives
+// the graph from it. The returned index is nil in exact mode; callers use it
+// to reuse the landmark selection for C and to attach a Placer to the fitted
+// model.
+func buildSpatial(si *mat.Dense, method Method, cfg Config) (*spatial.Graph, *landmark.Index, error) {
+	switch cfg.SpatialIndex {
+	case SpatialExact:
+		g, err := spatial.BuildGraph(si, cfg.P, cfg.GraphMode)
+		return g, nil, err
+	case SpatialLandmark:
+		lcfg := landmark.Config{Seed: cfg.Seed}
+		if method == SMFL && cfg.LandmarkSource == KMeansCenters {
+			// The coreset K-means that derives C needs at least K landmarks.
+			lcfg.MinLandmarks = cfg.K
+		}
+		ix, err := landmark.Build(si, lcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := ix.PNNGraph(cfg.P)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, ix, nil
+	}
+	return nil, nil, fmt.Errorf("core: unknown spatial index %d", cfg.SpatialIndex)
 }
 
 // runFit dispatches to the configured updater. On interruption, divergence
 // exhaustion, or an injected fault it returns the best-so-far model (tagged
 // Partial) together with the classified error, so a cancelled run never
-// vanishes.
-func runFit(model *Model, tr *trainer, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph) (*Model, error) {
+// vanishes. A successful fit run under the landmark index also captures the
+// O(L) Placer from the trained coefficients.
+func runFit(model *Model, tr *trainer, x, rx *mat.Dense, omega *mat.Mask, graph *spatial.Graph, ix *landmark.Index) (*Model, error) {
 	var err error
 	switch model.Config.Updater {
 	case Multiplicative:
@@ -105,6 +146,14 @@ func runFit(model *Model, tr *trainer, x, rx *mat.Dense, omega *mat.Mask, graph 
 	}
 	if err != nil {
 		return model, err
+	}
+	if ix != nil {
+		// Placement is an enhancement, not a contract: an index too small
+		// for LMDS (< 2 landmarks) just leaves Placer nil and fold-in keeps
+		// its random initialization.
+		if p, perr := ix.NewPlacer(model.U); perr == nil {
+			model.Placer = p
+		}
 	}
 	return model, nil
 }

@@ -57,6 +57,27 @@ func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense,
 	k := m.Config.K
 	rng := rand.New(rand.NewSource(m.Config.Seed + 1))
 	u := mat.RandomUniform(rng, r, k, 1e-3, 1)
+	// Landmark warm start: rows whose SI cells are all observed are placed
+	// against the O(L) landmark model and start from a Shepard blend of their
+	// nearest landmarks' trained coefficients instead of noise. The blend is
+	// deterministic and per-row, so single-row and batched fold-ins still
+	// agree; rows with hidden SI cells keep the random initialization.
+	if m.Placer != nil && m.L > 0 && m.L <= cols && m.Placer.Dim() == m.L && m.Placer.Coeff().Cols() == k {
+		si := make([]float64, m.L)
+		for i := 0; i < r; i++ {
+			seen := true
+			for j := 0; j < m.L; j++ {
+				if !omega.Observed(i, j) {
+					seen = false
+					break
+				}
+				si[j] = rows.At(i, j)
+			}
+			if seen {
+				m.Placer.WarmStart(u.Row(i), si)
+			}
+		}
+	}
 	eps := m.Config.Eps
 	if eps == 0 {
 		eps = 1e-12

@@ -10,17 +10,19 @@ import (
 	"path/filepath"
 
 	"github.com/spatialmf/smfl/internal/faultinject"
+	"github.com/spatialmf/smfl/internal/landmark"
 	"github.com/spatialmf/smfl/internal/mat"
 )
 
 // wireVersion is the current .smfl container version. Version 1 files (no
 // Version field on the wire, no normalization stats) predate the serving
 // layer; version 3 adds the partial/recovery tags and the fault-tolerance
-// config fields. gob leaves absent fields zero, so Load reads older files
+// config fields; version 4 adds the spatial-index mode and the landmark
+// placer. gob leaves absent fields zero, so Load reads older files
 // unchanged, and older decoders skip the appended fields. Decoders must
 // tolerate unknown future fields the same way: never repurpose a field name,
 // only append.
-const wireVersion = 3
+const wireVersion = 4
 
 // modelWire is the gob-encodable image of a fitted Model. Matrices travel
 // through their binary marshalers (see internal/mat/serialize.go).
@@ -40,6 +42,10 @@ type modelWire struct {
 	// Since version 3.
 	Partial    bool
 	Recoveries int
+
+	// Since version 4: the O(L) placement model attached by landmark-index
+	// fits (empty when absent).
+	Placer []byte
 }
 
 // configWire mirrors Config minus the runtime-only fields: the Weights
@@ -64,6 +70,9 @@ type configWire struct {
 	CheckpointEvery int
 	WatchdogRetries int
 	WatchdogExplode float64
+
+	// Since version 4.
+	SpatialIndex SpatialIndex
 }
 
 // Save serializes the fitted model (gob container with binary matrices).
@@ -96,6 +105,7 @@ func (m *Model) Save(w io.Writer) error {
 			Eps: cfg.Eps, Updater: cfg.Updater, LandmarkSource: cfg.LandmarkSource,
 			FoldInTol: cfg.FoldInTol, CheckpointEvery: cfg.CheckpointEvery,
 			WatchdogRetries: cfg.WatchdogRetries, WatchdogExplode: cfg.WatchdogExplode,
+			SpatialIndex: cfg.SpatialIndex,
 		},
 		L: m.L, U: u, V: v, C: c,
 		Objective: m.Objective, Iters: m.Iters, Converged: m.Converged,
@@ -108,6 +118,11 @@ func (m *Model) Save(w io.Writer) error {
 			return err
 		}
 		wire.NormMins, wire.NormMaxs = m.Norm.Mins, m.Norm.Maxs
+	}
+	if m.Placer != nil {
+		if wire.Placer, err = m.Placer.MarshalBinary(); err != nil {
+			return err
+		}
 	}
 	return gob.NewEncoder(w).Encode(&wire)
 }
@@ -153,10 +168,18 @@ func Load(r io.Reader) (*Model, error) {
 			// falls back to the historical 1e-8 tolerance.
 			FoldInTol: cw.FoldInTol, CheckpointEvery: cw.CheckpointEvery,
 			WatchdogRetries: cw.WatchdogRetries, WatchdogExplode: cw.WatchdogExplode,
+			SpatialIndex: cw.SpatialIndex,
 		},
 		L: wire.L, U: u, V: v, C: c, Norm: norm,
 		Objective: wire.Objective, Iters: wire.Iters, Converged: wire.Converged,
 		Partial: wire.Partial, Recoveries: wire.Recoveries,
+	}
+	if len(wire.Placer) > 0 {
+		p := new(landmark.Placer)
+		if err := p.UnmarshalBinary(wire.Placer); err != nil {
+			return nil, fmt.Errorf("core: load: placer: %w", err)
+		}
+		m.Placer = p
 	}
 	if err := validateLoaded(m); err != nil {
 		return nil, err
@@ -197,6 +220,20 @@ func validateLoaded(m *Model) error {
 	}
 	if !m.U.IsFinite() || !m.V.IsFinite() {
 		return errors.New("core: load: factors have non-finite entries")
+	}
+	if m.Config.SpatialIndex != SpatialExact && m.Config.SpatialIndex != SpatialLandmark {
+		return fmt.Errorf("core: load: unknown spatial index %d", m.Config.SpatialIndex)
+	}
+	if m.Placer != nil {
+		if d := m.Placer.Dim(); d != m.L {
+			return fmt.Errorf("core: load: placer expects %d SI columns, model has %d", d, m.L)
+		}
+		if pc := m.Placer.Coeff().Cols(); pc != k {
+			return fmt.Errorf("core: load: placer carries %d-feature coefficients, model has %d", pc, k)
+		}
+		if err := m.Placer.Validate(); err != nil {
+			return fmt.Errorf("core: load: %w", err)
+		}
 	}
 	for i, v := range m.Objective {
 		if math.IsNaN(v) || math.IsInf(v, 0) {

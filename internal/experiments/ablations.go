@@ -7,6 +7,7 @@ import (
 	"github.com/spatialmf/smfl/internal/core"
 	"github.com/spatialmf/smfl/internal/dataset"
 	"github.com/spatialmf/smfl/internal/impute"
+	"github.com/spatialmf/smfl/internal/landmark"
 	"github.com/spatialmf/smfl/internal/spatial"
 )
 
@@ -93,13 +94,15 @@ func updaterName(u core.Updater) string {
 	return "Multi"
 }
 
-// AblationGraphBuild (DESIGN.md A5, engineering) times the KD-tree vs
-// brute-force construction of the p-NN similarity graph.
+// AblationGraphBuild (DESIGN.md A5, engineering) times the three p-NN graph
+// construction backends — exact KD-tree, exact brute force (Proposition 1),
+// and the sub-quadratic landmark index — and reports the landmark graph's
+// edge recall against the exact graph.
 func AblationGraphBuild(o Options) (*Table, error) {
 	o = o.withDefaults()
 	t := &Table{
 		Title:  "Ablation A5: neighbor-graph construction time (seconds)",
-		Header: []string{"N", "KDTree", "BruteForce"},
+		Header: []string{"N", "KDTree", "BruteForce", "Landmark", "LandmarkRecall"},
 	}
 	res, err := o.paperDataset("Economic", o.Seed)
 	if err != nil {
@@ -113,16 +116,52 @@ func AblationGraphBuild(o Options) (*Table, error) {
 		}
 		si := res.Data.X.Slice(0, sz, 0, res.Data.L)
 		row := []string{fmt.Sprintf("%d", sz)}
+		var exact *spatial.Graph
 		for _, mode := range []spatial.BuildMode{spatial.KDTreeMode, spatial.BruteForceMode} {
 			start := time.Now()
-			if _, err := spatial.BuildGraph(si, 3, mode); err != nil {
+			g, err := spatial.BuildGraph(si, 3, mode)
+			if err != nil {
 				return nil, err
+			}
+			if mode == spatial.KDTreeMode {
+				exact = g
 			}
 			row = append(row, fmt.Sprintf("%.4f", time.Since(start).Seconds()))
 		}
+		start := time.Now()
+		ix, err := landmark.Build(si, landmark.Config{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		approx, err := ix.PNNGraph(3)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmt.Sprintf("%.4f", time.Since(start).Seconds()),
+			fmt.Sprintf("%.3f", edgeRecall(exact, approx)))
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+// edgeRecall is the fraction of exact-graph edges present in the approximate
+// graph.
+func edgeRecall(exact, approx *spatial.Graph) float64 {
+	hits, total := 0, 0
+	for i := 0; i < exact.N(); i++ {
+		for _, j := range exact.Neighbors(i) {
+			if int32(i) < j {
+				total++
+				if approx.Connected(i, int(j)) {
+					hits++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hits) / float64(total)
 }
 
 // Registry maps experiment IDs to their regenerators, in paper order.

@@ -34,6 +34,9 @@ type Options struct {
 	Budget time.Duration
 	// MaxIter caps the MF iteration count t₁ (default 500, the paper's).
 	MaxIter int
+	// SpatialIndex picks the p-NN graph backend for every MF fit in the run
+	// (exact by default; landmark for the sub-quadratic path).
+	SpatialIndex core.SpatialIndex
 	// Quiet suppresses progress lines on Log.
 	Quiet bool
 	// Log receives progress lines (default: discarded).
@@ -88,13 +91,14 @@ func (o Options) mfConfig(m int, seed int64) core.Config {
 		k = m - 1
 	}
 	return core.Config{
-		K:       k,
-		Lambda:  0.1,
-		P:       3,
-		MaxIter: o.MaxIter,
-		Tol:     1e-6,
-		Seed:    seed,
-		Ctx:     o.Ctx, // cancellation reaches into the MF fits themselves
+		K:            k,
+		Lambda:       0.1,
+		P:            3,
+		MaxIter:      o.MaxIter,
+		Tol:          1e-6,
+		Seed:         seed,
+		SpatialIndex: o.SpatialIndex,
+		Ctx:          o.Ctx, // cancellation reaches into the MF fits themselves
 	}
 }
 

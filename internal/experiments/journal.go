@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"github.com/spatialmf/smfl/internal/core"
 )
 
 // Journal makes experiment sweeps resumable: every completed cell — one
@@ -40,8 +42,14 @@ type journalRecord struct {
 // (Ctx, Log, Quiet, Budget — a budget change only reclassifies OOT cells the
 // user explicitly reruns) are excluded.
 func (o Options) fingerprint() string {
-	return fmt.Sprintf("scale=%g runs=%d seed=%d missing=%g error=%g maxiter=%d",
+	fp := fmt.Sprintf("scale=%g runs=%d seed=%d missing=%g error=%g maxiter=%d",
 		o.Scale, o.Runs, o.Seed, o.MissingRate, o.ErrorRate, o.MaxIter)
+	// Appended only when non-default so journals written before the spatial
+	// index existed keep resuming (their cells were all exact-mode).
+	if o.SpatialIndex != core.SpatialExact {
+		fp += " spatial=" + o.SpatialIndex.String()
+	}
+	return fp
 }
 
 // OpenJournal opens (or creates) the journal at path for the given options.

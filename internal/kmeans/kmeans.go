@@ -120,10 +120,25 @@ func runOnce(x *mat.Dense, n, dim, k, maxIter int, rng *rand.Rand) *Result {
 // seedPlusPlus picks initial centers with the k-means++ D² distribution.
 func seedPlusPlus(x *mat.Dense, n, dim, k int, rng *rand.Rand) *mat.Dense {
 	centers := mat.NewDense(k, dim)
-	copy(centers.Row(0), x.Row(rng.Intn(n)))
+	for j, idx := range SeedPlusPlusIndices(x, k, rng) {
+		copy(centers.Row(j), x.Row(idx))
+	}
+	return centers
+}
+
+// SeedPlusPlusIndices draws k row indices of x with the k-means++ D²
+// distribution: the first uniformly, each later one with probability
+// proportional to its squared distance to the nearest already-chosen row.
+// Rows may repeat only when fewer than k distinct points exist. Exported for
+// the landmark selection in internal/landmark, which seeds its spatial
+// index (and the SMFL landmark columns) from the same distribution.
+func SeedPlusPlusIndices(x *mat.Dense, k int, rng *rand.Rand) []int {
+	n, _ := x.Dims()
+	idx := make([]int, k)
+	idx[0] = rng.Intn(n)
 	d2 := make([]float64, n)
 	for i := 0; i < n; i++ {
-		d2[i] = sqDist(x.Row(i), centers.Row(0))
+		d2[i] = sqDist(x.Row(i), x.Row(idx[0]))
 	}
 	for j := 1; j < k; j++ {
 		var total float64
@@ -145,14 +160,14 @@ func seedPlusPlus(x *mat.Dense, n, dim, k int, rng *rand.Rand) *mat.Dense {
 				}
 			}
 		}
-		copy(centers.Row(j), x.Row(pick))
+		idx[j] = pick
 		for i := 0; i < n; i++ {
-			if d := sqDist(x.Row(i), centers.Row(j)); d < d2[i] {
+			if d := sqDist(x.Row(i), x.Row(pick)); d < d2[i] {
 				d2[i] = d
 			}
 		}
 	}
-	return centers
+	return idx
 }
 
 func sqDist(a, b []float64) float64 {

@@ -153,6 +153,49 @@ func TestLandmarkShape(t *testing.T) {
 	}
 }
 
+func TestSeedPlusPlusIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	x, _ := threeBlobs(rng, 20)
+	n, _ := x.Dims()
+	idx := SeedPlusPlusIndices(x, 3, rand.New(rand.NewSource(12)))
+	if len(idx) != 3 {
+		t.Fatalf("got %d indices, want 3", len(idx))
+	}
+	seenBlob := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			t.Fatalf("index %d out of range [0,%d)", i, n)
+		}
+		seenBlob[i/20] = true
+	}
+	// D² seeding over three well-separated blobs must hit all three.
+	if len(seenBlob) != 3 {
+		t.Fatalf("seeds cover blobs %v, want all 3", seenBlob)
+	}
+	again := SeedPlusPlusIndices(x, 3, rand.New(rand.NewSource(12)))
+	for j := range idx {
+		if idx[j] != again[j] {
+			t.Fatalf("same seed produced different indices: %v vs %v", idx, again)
+		}
+	}
+}
+
+func TestSeedPlusPlusIndicesMatchesRunSeeding(t *testing.T) {
+	// seedPlusPlus must draw the exact same RNG sequence as the exported
+	// index variant, so Run results are unchanged by the refactor.
+	rng := rand.New(rand.NewSource(77))
+	x := mat.RandomNormal(rng, 40, 2, 0, 1)
+	idx := SeedPlusPlusIndices(x, 4, rand.New(rand.NewSource(21)))
+	centers := seedPlusPlus(x, 40, 2, 4, rand.New(rand.NewSource(21)))
+	for j, i := range idx {
+		for d := 0; d < 2; d++ {
+			if centers.At(j, d) != x.At(i, d) {
+				t.Fatalf("center %d != row %d of x", j, i)
+			}
+		}
+	}
+}
+
 func TestLloydCostNonIncreasingProperty(t *testing.T) {
 	// Run with increasing iteration caps: cost must be non-increasing in
 	// the cap (same seed ⇒ same trajectory prefix).

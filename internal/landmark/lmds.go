@@ -1,0 +1,131 @@
+package landmark
+
+import (
+	"errors"
+	"math"
+
+	"github.com/spatialmf/smfl/internal/linalg"
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// LMDS is a classical Landmark MDS model (de Silva & Tenenbaum): the exact
+// MDS solution on the L landmark points plus the affine map that places any
+// other point into that embedding from its L squared landmark distances.
+type LMDS struct {
+	dim    int        // embedding dimensionality m (positive spectrum only)
+	mu     []float64  // column means of the landmark Δ² matrix
+	coords *mat.Dense // L×m landmark embedding Y = Q √Λ
+	lsharp *mat.Dense // L×m pseudo-inverse transpose L# = Q Λ^(-½)
+}
+
+// NewLMDS builds the landmark model from the L×d landmark coordinates.
+// dim asks for at most that many embedding axes; it is clamped to L−1 and
+// to the positive part of the spectrum (Euclidean input has rank ≤ d, so
+// asking for dim = d recovers the geometry exactly up to rotation).
+func NewLMDS(lcoords *mat.Dense, dim int, seed int64) (*LMDS, error) {
+	l, d := lcoords.Dims()
+	if l < 2 {
+		return nil, errors.New("landmark: LMDS needs at least 2 landmarks")
+	}
+	if dim <= 0 {
+		dim = d
+	}
+	if dim > l-1 {
+		dim = l - 1
+	}
+	// Exact squared-distance matrix and its double centering
+	// B = −½ H Δ² H, expressed entrywise with the column means μ and the
+	// grand mean so no L×L centering matrix is materialized.
+	delta2 := mat.NewDense(l, l)
+	for i := 0; i < l; i++ {
+		for j := i + 1; j < l; j++ {
+			v := sqDist(lcoords.Row(i), lcoords.Row(j))
+			delta2.Set(i, j, v)
+			delta2.Set(j, i, v)
+		}
+	}
+	mu := make([]float64, l)
+	var grand float64
+	for j := 0; j < l; j++ {
+		var s float64
+		for i := 0; i < l; i++ {
+			s += delta2.At(i, j)
+		}
+		mu[j] = s / float64(l)
+		grand += mu[j]
+	}
+	grand /= float64(l)
+	b := mat.NewDense(l, l)
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			b.Set(i, j, -0.5*(delta2.At(i, j)-mu[i]-mu[j]+grand))
+		}
+	}
+	eig, err := linalg.SymEigenTopK(b, dim, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Keep only the clearly positive part of the spectrum: B is PSD for
+	// Euclidean input up to round-off, and a near-zero axis would blow up
+	// in Λ^(-½).
+	floor := 0.0
+	if len(eig.Values) > 0 && eig.Values[0] > 0 {
+		floor = 1e-12 * eig.Values[0]
+	}
+	m := 0
+	for m < len(eig.Values) && eig.Values[m] > floor {
+		m++
+	}
+	out := &LMDS{dim: m, mu: mu}
+	if m == 0 {
+		// All landmarks coincide: a single zero axis keeps the embedding
+		// well-formed and every triangulated point lands at the origin.
+		out.dim = 1
+		out.coords = mat.NewDense(l, 1)
+		out.lsharp = mat.NewDense(l, 1)
+		return out, nil
+	}
+	out.coords = mat.NewDense(l, m)
+	out.lsharp = mat.NewDense(l, m)
+	for k := 0; k < m; k++ {
+		sq := math.Sqrt(eig.Values[k])
+		for i := 0; i < l; i++ {
+			q := eig.Vectors.At(i, k)
+			out.coords.Set(i, k, q*sq)
+			out.lsharp.Set(i, k, q/sq)
+		}
+	}
+	return out, nil
+}
+
+// Dim returns the embedding dimensionality m.
+func (m *LMDS) Dim() int { return m.dim }
+
+// Coords returns the L×m landmark embedding (read-only).
+func (m *LMDS) Coords() *mat.Dense { return m.coords }
+
+// Triangulate maps a point with squared landmark distances d2 (length L)
+// into the embedding: y = −½ L#ᵀ (d2 − μ). dst is reused when it has
+// length m; the result is valid for any point, seen or unseen, and costs
+// O(L·m) with no reference to the N training rows.
+func (m *LMDS) Triangulate(dst, d2 []float64) []float64 {
+	l, dim := m.lsharp.Dims()
+	if len(d2) != l {
+		panic("landmark: Triangulate distance vector length mismatch")
+	}
+	if len(dst) != dim {
+		dst = make([]float64, dim)
+	}
+	for k := range dst {
+		dst[k] = 0
+	}
+	ls := m.lsharp.Data()
+	for j := 0; j < l; j++ {
+		c := -0.5 * (d2[j] - m.mu[j])
+		row := ls[j*dim : (j+1)*dim]
+		for k, v := range row {
+			dst[k] += c * v
+		}
+	}
+	return dst
+}

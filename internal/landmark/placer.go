@@ -1,0 +1,233 @@
+package landmark
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// Placer is the O(L) placement model for rows that arrive after training:
+// it holds only landmark-sized state (L×d coordinates, the LMDS map, and
+// the L×k landmark rows of the trained coefficient matrix), so placing a
+// row costs exactly L distance evaluations regardless of how many rows the
+// model was trained on. It is immutable and safe for concurrent use.
+type Placer struct {
+	coords *mat.Dense // L×d landmark SI coordinates
+	mds    *LMDS
+	coeff  *mat.Dense // L×k landmark fold-in coefficients
+	probes int
+}
+
+// Placement is the spatial context of one placed row.
+type Placement struct {
+	// Embedding is the row's LMDS coordinates, triangulated from its
+	// landmark distances.
+	Embedding []float64
+	// Nearest lists the closest landmarks (positions in the landmark set,
+	// nearest first) and Dist the matching distances.
+	Nearest []int
+	Dist    []float64
+	// DistEvals counts distance evaluations performed — always exactly L,
+	// the op-count the no-O(N) placement test pins down.
+	DistEvals int
+}
+
+// Landmarks returns L.
+func (p *Placer) Landmarks() int { return p.coords.Rows() }
+
+// Dim returns the SI dimensionality the placer expects.
+func (p *Placer) Dim() int { return p.coords.Cols() }
+
+// Place computes the spatial context of a row from its SI coordinates
+// alone. The input length must match Dim and be finite.
+func (p *Placer) Place(si []float64) (Placement, error) {
+	l, d := p.coords.Dims()
+	if len(si) != d {
+		return Placement{}, errors.New("landmark: Place input length mismatch")
+	}
+	for _, v := range si {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Placement{}, errors.New("landmark: Place input not finite")
+		}
+	}
+	d2 := make([]float64, l)
+	for b := 0; b < l; b++ {
+		d2[b] = sqDist(si, p.coords.Row(b))
+	}
+	q := p.probes
+	if q > l {
+		q = l
+	}
+	nearest := make([]int, 0, q)
+	dist := make([]float64, 0, q)
+	for b := 0; b < l; b++ {
+		db := math.Sqrt(d2[b])
+		if len(nearest) == q && db >= dist[q-1] {
+			continue
+		}
+		at := len(nearest)
+		if at < q {
+			nearest = append(nearest, 0)
+			dist = append(dist, 0)
+		} else {
+			at = q - 1
+		}
+		for at > 0 && dist[at-1] > db {
+			nearest[at], dist[at] = nearest[at-1], dist[at-1]
+			at--
+		}
+		nearest[at], dist[at] = b, db
+	}
+	return Placement{
+		Embedding: p.mds.Triangulate(nil, d2),
+		Nearest:   nearest,
+		Dist:      dist,
+		DistEvals: l,
+	}, nil
+}
+
+// WarmStart writes a fold-in initialization for a row with SI coordinates
+// si into dst (length k): an inverse-distance Shepard blend of the nearest
+// landmarks' trained coefficient rows, floored at the random-init minimum
+// so multiplicative updates never see a stuck zero. Returns false (dst
+// untouched) when the input is unusable, letting the caller keep its
+// random initialization.
+func (p *Placer) WarmStart(dst, si []float64) bool {
+	if len(dst) != p.coeff.Cols() {
+		return false
+	}
+	pl, err := p.Place(si)
+	if err != nil {
+		return false
+	}
+	const eps = 1e-9
+	for k := range dst {
+		dst[k] = 0
+	}
+	var wsum float64
+	for t, b := range pl.Nearest {
+		w := 1 / (pl.Dist[t]*pl.Dist[t] + eps)
+		wsum += w
+		row := p.coeff.Row(b)
+		for k, v := range row {
+			dst[k] += w * v
+		}
+	}
+	if wsum <= 0 || math.IsNaN(wsum) || math.IsInf(wsum, 0) {
+		return false
+	}
+	for k := range dst {
+		dst[k] /= wsum
+		if dst[k] < 1e-3 {
+			dst[k] = 1e-3
+		}
+	}
+	return true
+}
+
+// placerWire is the gob image of a Placer. Fields are append-only.
+type placerWire struct {
+	Coords []byte
+	Coeff  []byte
+	Probes int
+	// LMDS state.
+	MDSDim    int
+	MDSMu     []float64
+	MDSCoords []byte
+	MDSSharp  []byte
+}
+
+// MarshalBinary encodes the placer for persistence inside a model file.
+func (p *Placer) MarshalBinary() ([]byte, error) {
+	w := placerWire{
+		Probes: p.probes,
+		MDSDim: p.mds.dim,
+		MDSMu:  p.mds.mu,
+	}
+	var err error
+	if w.Coords, err = p.coords.MarshalBinary(); err != nil {
+		return nil, err
+	}
+	if w.Coeff, err = p.coeff.MarshalBinary(); err != nil {
+		return nil, err
+	}
+	if w.MDSCoords, err = p.mds.coords.MarshalBinary(); err != nil {
+		return nil, err
+	}
+	if w.MDSSharp, err = p.mds.lsharp.MarshalBinary(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a placer written by MarshalBinary.
+func (p *Placer) UnmarshalBinary(data []byte) error {
+	var w placerWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	coords, coeff := &mat.Dense{}, &mat.Dense{}
+	mcoords, msharp := &mat.Dense{}, &mat.Dense{}
+	if err := coords.UnmarshalBinary(w.Coords); err != nil {
+		return err
+	}
+	if err := coeff.UnmarshalBinary(w.Coeff); err != nil {
+		return err
+	}
+	if err := mcoords.UnmarshalBinary(w.MDSCoords); err != nil {
+		return err
+	}
+	if err := msharp.UnmarshalBinary(w.MDSSharp); err != nil {
+		return err
+	}
+	if w.Probes <= 0 || w.MDSDim <= 0 || coords.Rows() == 0 ||
+		coords.Rows() != coeff.Rows() || len(w.MDSMu) != coords.Rows() {
+		return errors.New("landmark: placer wire state inconsistent")
+	}
+	p.coords = coords
+	p.coeff = coeff
+	p.probes = w.Probes
+	p.mds = &LMDS{dim: w.MDSDim, mu: w.MDSMu, coords: mcoords, lsharp: msharp}
+	return nil
+}
+
+// Coeff returns the L×k landmark coefficient block (read-only).
+func (p *Placer) Coeff() *mat.Dense { return p.coeff }
+
+// Validate rejects placer state that decoded cleanly but does not describe a
+// well-formed placement model: non-finite matrices, or an LMDS map whose
+// shapes disagree with the landmark set. Model loading calls this so a
+// corrupted or hostile file is refused instead of crashing serving later.
+func (p *Placer) Validate() error {
+	if p.coords == nil || p.coeff == nil || p.mds == nil {
+		return errors.New("landmark: placer missing state")
+	}
+	l := p.coords.Rows()
+	if !p.coords.IsFinite() || !p.coeff.IsFinite() {
+		return errors.New("landmark: placer has non-finite entries")
+	}
+	m := p.mds
+	if m.coords == nil || m.lsharp == nil {
+		return errors.New("landmark: placer LMDS missing state")
+	}
+	if m.coords.Rows() != l || m.lsharp.Rows() != l || len(m.mu) != l ||
+		m.coords.Cols() != m.dim || m.lsharp.Cols() != m.dim {
+		return errors.New("landmark: placer LMDS shape mismatch")
+	}
+	if !m.coords.IsFinite() || !m.lsharp.IsFinite() {
+		return errors.New("landmark: placer LMDS has non-finite entries")
+	}
+	for _, v := range m.mu {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("landmark: placer LMDS has non-finite entries")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// randomSymmetric builds a dense symmetric matrix with entries drawn once
+// and mirrored across the diagonal.
+func randomSymmetric(rng *rand.Rand, n int) *mat.Dense {
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSymEigenTopKMatchesFullJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	a := randomSymmetric(rng, 120) // large enough for the iterative path
+	k := 5
+	top, err := SymEigenTopK(a, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Values) != k {
+		t.Fatalf("got %d values, want %d", len(top.Values), k)
+	}
+	for j := 0; j < k; j++ {
+		if math.Abs(top.Values[j]-full.Values[j]) > 1e-7*(1+math.Abs(full.Values[j])) {
+			t.Fatalf("value %d: %v vs Jacobi %v", j, top.Values[j], full.Values[j])
+		}
+	}
+	// Residual check: ‖A v − λ v‖ small, and v unit-norm.
+	n, _ := a.Dims()
+	av := mat.Mul(nil, a, top.Vectors)
+	for j := 0; j < k; j++ {
+		var res, norm float64
+		for i := 0; i < n; i++ {
+			d := av.At(i, j) - top.Values[j]*top.Vectors.At(i, j)
+			res += d * d
+			norm += top.Vectors.At(i, j) * top.Vectors.At(i, j)
+		}
+		if math.Sqrt(res) > 1e-6*(1+math.Abs(top.Values[j])) {
+			t.Fatalf("eigenpair %d residual %v", j, math.Sqrt(res))
+		}
+		if math.Abs(norm-1) > 1e-8 {
+			t.Fatalf("vector %d norm² = %v, want 1", j, norm)
+		}
+	}
+}
+
+func TestSymEigenTopKNegativeSpectrum(t *testing.T) {
+	// Dominant-in-magnitude eigenvalue is negative: the shift must still
+	// steer the iteration to the algebraically largest values.
+	rng := rand.New(rand.NewSource(81))
+	n := 100
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = -float64(n - i) // -100 … -1: largest by value are the last
+	}
+	d[n-1], d[n-2] = 3, 2 // two positive outliers
+	q, _, err := QR(mat.RandomNormal(rng, n, n, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += q.At(i, k) * d[k] * q.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	top, err := SymEigenTopK(a, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(top.Values[0]-3) > 1e-6 || math.Abs(top.Values[1]-2) > 1e-6 {
+		t.Fatalf("top values %v, want [3 2]", top.Values)
+	}
+}
+
+func TestSymEigenTopKSmallFallsBackExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	a := randomSymmetric(rng, 20)
+	top, err := SymEigenTopK(a, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if top.Values[j] != full.Values[j] {
+			t.Fatalf("small-matrix path diverged from Jacobi at %d", j)
+		}
+	}
+}
+
+func TestSymEigenTopKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	a := randomSymmetric(rng, 90)
+	x, err := SymEigenTopK(a, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := SymEigenTopK(a, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x.Values {
+		if x.Values[j] != y.Values[j] {
+			t.Fatal("same seed produced different eigenvalues")
+		}
+	}
+	if !mat.EqualApprox(x.Vectors, y.Vectors, 0) {
+		t.Fatal("same seed produced different eigenvectors")
+	}
+}
+
+func TestSymEigenTopKValidation(t *testing.T) {
+	a := mat.NewDense(4, 5)
+	if _, err := SymEigenTopK(a, 1, 0); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+	sq := mat.NewDense(4, 4)
+	if _, err := SymEigenTopK(sq, 0, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := SymEigenTopK(sq, 5, 0); err == nil {
+		t.Fatal("expected error for k>n")
+	}
+	bad := mat.NewDense(3, 3)
+	bad.Set(0, 0, math.NaN())
+	if _, err := SymEigenTopK(bad, 1, 0); err != ErrNotFinite {
+		t.Fatalf("err = %v, want ErrNotFinite", err)
+	}
+}

@@ -44,6 +44,19 @@ func defaultWorkers() int {
 // Workers returns the current size of the shared worker pool.
 func Workers() int { return pool.Load().size }
 
+// SetThreshold replaces the parallelization threshold (minimum scalar-op
+// estimate before a kernel splits across the pool) and returns the previous
+// value; v <= 0 restores the default. For tests in other packages that need
+// to force the pooled paths on small inputs.
+func SetThreshold(v int) int {
+	old := parallelThreshold
+	if v <= 0 {
+		v = 1 << 20
+	}
+	parallelThreshold = v
+	return old
+}
+
 // SetWorkers replaces the shared worker pool with one of n goroutines and
 // returns the previous size. n <= 0 resets to the default (GOMAXPROCS, or
 // SMFL_WORKERS when set). The chunk partition — and therefore the exact

@@ -3,7 +3,7 @@ package spatial
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"github.com/spatialmf/smfl/internal/mat"
 )
@@ -45,45 +45,149 @@ func BuildGraph(si *mat.Dense, p int, mode BuildMode) (*Graph, error) {
 	for i := 0; i < n; i++ {
 		pts[i] = si.Row(i)
 	}
-	sets := make([]map[int32]struct{}, n)
-	for i := range sets {
-		sets[i] = make(map[int32]struct{}, 2*p)
-	}
-	add := func(i int, nbrs []int) {
-		for _, j := range nbrs {
-			if j == i {
-				continue
-			}
-			sets[i][int32(j)] = struct{}{}
-			sets[j][int32(i)] = struct{}{} // symmetrize (the "or" in Formula 3)
-		}
-	}
+	nbrs := make([][]int32, n)
+	flat := make([]int32, n*p) // one backing array, not n small lists
 	switch mode {
 	case KDTreeMode:
 		tree := NewKDTree(pts)
-		for i := 0; i < n; i++ {
-			add(i, tree.KNN(pts[i], p, i))
-		}
+		// Queries are independent reads of the shared tree, so they chunk
+		// over the worker pool; each chunk reuses one search scratch. The
+		// work estimate is per-query node visits × per-node cost.
+		work := n * bits.Len(uint(n)) * (16 + 2*p)
+		mat.ParallelRange(n, work, func(lo, hi int) {
+			var s KNNScratch
+			for i := lo; i < hi; i++ {
+				res := tree.KNNInto(&s, pts[i], p, i)
+				lst := flat[i*p : i*p+len(res)]
+				for t, j := range res {
+					lst[t] = int32(j)
+				}
+				nbrs[i] = lst
+			}
+		})
 	case BruteForceMode:
 		for i := 0; i < n; i++ {
-			add(i, bruteKNN(pts, pts[i], p, i))
+			res := bruteKNN(pts, pts[i], p, i)
+			lst := make([]int32, len(res))
+			for t, j := range res {
+				lst[t] = int32(j)
+			}
+			nbrs[i] = lst
 		}
 	default:
 		return nil, fmt.Errorf("spatial: unknown build mode %d", mode)
 	}
-	g := &Graph{n: n, adj: make([][]int32, n), deg: make([]float64, n)}
-	for i, s := range sets {
-		lst := make([]int32, 0, len(s))
-		for j := range s {
-			lst = append(lst, j)
+	return NewGraphFromNeighbors(nbrs), nil
+}
+
+// NewGraphFromNeighbors assembles the symmetric Formula-3 graph from raw
+// directed p-NN lists: edge {i,j} exists iff j ∈ nbrs[i] or i ∈ nbrs[j].
+// Self-loops and duplicate entries are dropped. The merge is serial and
+// index-ordered, so the result is deterministic regardless of how the lists
+// were produced (parallel exact queries or landmark candidate generation).
+func NewGraphFromNeighbors(nbrs [][]int32) *Graph {
+	n := len(nbrs)
+	cnt := make([]int, n)
+	total := 0
+	for i, lst := range nbrs {
+		for _, j := range lst {
+			if int(j) == i {
+				continue
+			}
+			if j < 0 || int(j) >= n {
+				panic(fmt.Sprintf("spatial: neighbor %d of %d out of range [0,%d)", j, i, n))
+			}
+			cnt[i]++
+			cnt[j]++
+			total += 2
 		}
-		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+	}
+	// One flat backing array with per-row cursors instead of 2N small
+	// allocations; rows stay subslices of it.
+	flat := make([]int32, total)
+	off := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + cnt[i]
+	}
+	// Each row's region fills as three ascending runs: backlinks from rows
+	// below i (arriving in i' order), i's own list (sorted below), then
+	// backlinks from rows above i. A 3-way merge-dedup is cheaper than
+	// sorting the concatenation.
+	cur := make([]int, n)
+	copy(cur, off[:n])
+	aEnd := make([]int, n)
+	bEnd := make([]int, n)
+	maxRow := 0
+	for i, lst := range nbrs {
+		aEnd[i] = cur[i]
+		for _, j := range lst {
+			if int(j) == i {
+				continue
+			}
+			flat[cur[i]] = j
+			cur[i]++
+			flat[cur[j]] = int32(i) // symmetrize (the "or" in Formula 3)
+			cur[j]++
+		}
+		bEnd[i] = cur[i]
+		if r := off[i+1] - off[i]; r > maxRow {
+			maxRow = r
+		}
+	}
+	g := &Graph{n: n, adj: make([][]int32, n), deg: make([]float64, n)}
+	scratch := make([]int32, maxRow)
+	for i := 0; i < n; i++ {
+		// Sort the own-list run (≤p entries; backlink runs are already
+		// ascending by construction).
+		seg := flat[aEnd[i]:bEnd[i]]
+		for a := 1; a < len(seg); a++ {
+			x := seg[a]
+			b := a - 1
+			for b >= 0 && seg[b] > x {
+				seg[b+1] = seg[b]
+				b--
+			}
+			seg[b+1] = x
+		}
+		a, ae := off[i], aEnd[i]
+		b, be := aEnd[i], bEnd[i]
+		c, ce := bEnd[i], off[i+1]
+		w := 0
+		last := int32(-1)
+		for a < ae || b < be || c < ce {
+			m := int32(n)
+			if a < ae {
+				m = flat[a]
+			}
+			if b < be && flat[b] < m {
+				m = flat[b]
+			}
+			if c < ce && flat[c] < m {
+				m = flat[c]
+			}
+			if a < ae && flat[a] == m {
+				a++
+			}
+			if b < be && flat[b] == m {
+				b++
+			}
+			if c < ce && flat[c] == m {
+				c++
+			}
+			if m != last {
+				scratch[w] = m
+				last = m
+				w++
+			}
+		}
+		lst := flat[off[i] : off[i]+w]
+		copy(lst, scratch[:w])
 		g.adj[i] = lst
-		g.deg[i] = float64(len(lst))
-		g.edges += len(lst)
+		g.deg[i] = float64(w)
+		g.edges += w
 	}
 	g.edges /= 2
-	return g, nil
+	return g
 }
 
 // N returns the number of vertices.

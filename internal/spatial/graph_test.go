@@ -38,6 +38,74 @@ func TestBuildGraphLine(t *testing.T) {
 	}
 }
 
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.Edges() != b.Edges() {
+		return false
+	}
+	for i := 0; i < a.N(); i++ {
+		na, nb := a.Neighbors(i), b.Neighbors(i)
+		if len(na) != len(nb) {
+			return false
+		}
+		for k := range na {
+			if na[k] != nb[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBuildGraphParallelMatchesSerial(t *testing.T) {
+	// The exact build chunks its KNN queries over the worker pool; the
+	// merged graph must be identical at any pool size.
+	rng := rand.New(rand.NewSource(64))
+	si := mat.RandomNormal(rng, 600, 3, 0, 1)
+	defer mat.SetThreshold(mat.SetThreshold(1)) // force the pooled path
+	prev := mat.SetWorkers(1)
+	serial, err := BuildGraph(si, 5, KDTreeMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat.SetWorkers(4)
+	parallel, err := BuildGraph(si, 5, KDTreeMode)
+	mat.SetWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(serial, parallel) {
+		t.Fatal("parallel build differs from serial build")
+	}
+}
+
+func TestNewGraphFromNeighbors(t *testing.T) {
+	// Directed lists with self loops and duplicate mutual edges: the merge
+	// must drop loops, dedup, sort, and symmetrize.
+	g := NewGraphFromNeighbors([][]int32{
+		{1, 2, 0}, // self loop dropped
+		{0},       // mutual with 0 — dedup to one edge
+		{},        // receives 0 by symmetry only
+	})
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.Edges())
+	}
+	want := [][]int32{{1, 2}, {0}, {0}}
+	for i, w := range want {
+		got := g.Neighbors(i)
+		if len(got) != len(w) {
+			t.Fatalf("row %d neighbors %v, want %v", i, got, w)
+		}
+		for k := range w {
+			if got[k] != w[k] {
+				t.Fatalf("row %d neighbors %v, want %v", i, got, w)
+			}
+		}
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatal("degrees do not match adjacency")
+	}
+}
+
 func TestGraphSymmetryProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(60))
 	for trial := 0; trial < 15; trial++ {

@@ -10,7 +10,6 @@
 package spatial
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -63,7 +62,8 @@ func (t *KDTree) build(idx []int, depth int) *kdNode {
 	return n
 }
 
-// neighborHeap is a bounded max-heap of (dist², index) used during search.
+// neighborHeap is a bounded max-heap of (dist², index) ordered by KNNScratch
+// itself (open-coded sifts, no container/heap boxing).
 type neighborHeap []neighbor
 
 type neighbor struct {
@@ -71,63 +71,132 @@ type neighbor struct {
 	idx   int
 }
 
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].dist2 > h[j].dist2 } // max-heap
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// KNNScratch holds the reusable state of one KNN search — the bounded
+// neighbor max-heap, the deferred-subtree stack, and the result buffer —
+// so batched graph builds do a whole query stream with zero allocations.
+// The zero value is ready to use; a scratch must not be shared between
+// concurrent queries.
+type KNNScratch struct {
+	heap  neighborHeap
+	stack []kdFrame
+	out   []int
+}
+
+// kdFrame is a deferred far-side subtree with the squared distance from the
+// query to the splitting plane that guards it.
+type kdFrame struct {
+	node *kdNode
+	d2   float64
 }
 
 // KNN returns the indices of the k nearest points to q, excluding any index
 // equal to exclude (pass -1 to keep all). Results are sorted by increasing
-// distance. Fewer than k indices are returned when the tree is small.
+// distance (ties by index). Fewer than k indices are returned when the tree
+// is small. Allocates a fresh scratch; batch callers should use KNNInto.
 func (t *KDTree) KNN(q []float64, k, exclude int) []int {
+	var s KNNScratch
+	res := t.KNNInto(&s, q, k, exclude)
+	if len(res) == 0 {
+		return nil
+	}
+	out := make([]int, len(res))
+	copy(out, res)
+	return out
+}
+
+// KNNInto is KNN reusing s for all intermediate state. The returned slice
+// is owned by s and valid only until its next use.
+func (t *KDTree) KNNInto(s *KNNScratch, q []float64, k, exclude int) []int {
 	if t.root == nil || k <= 0 {
 		return nil
 	}
 	if len(q) != t.dim {
 		panic(fmt.Sprintf("spatial: query dim %d, want %d", len(q), t.dim))
 	}
-	h := make(neighborHeap, 0, k+1)
-	t.search(t.root, q, k, exclude, &h)
-	out := make([]neighbor, len(h))
-	copy(out, h)
-	sort.Slice(out, func(a, b int) bool { return out[a].dist2 < out[b].dist2 })
-	idx := make([]int, len(out))
-	for i, nb := range out {
-		idx[i] = nb.idx
-	}
-	return idx
-}
-
-func (t *KDTree) search(n *kdNode, q []float64, k, exclude int, h *neighborHeap) {
-	if n == nil {
-		return
-	}
-	if n.point != exclude {
-		d2 := dist2(q, t.pts[n.point])
-		if h.Len() < k {
-			heap.Push(h, neighbor{d2, n.point})
-		} else if d2 < (*h)[0].dist2 {
-			heap.Pop(h)
-			heap.Push(h, neighbor{d2, n.point})
+	s.heap = s.heap[:0]
+	s.stack = append(s.stack[:0], kdFrame{node: t.root})
+	for len(s.stack) > 0 {
+		f := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		// Prune a deferred subtree when its splitting plane is no closer
+		// than the current worst neighbor (checked at pop time, after the
+		// heap has tightened further).
+		if len(s.heap) == k && f.d2 >= s.heap[0].dist2 {
+			continue
+		}
+		// Descend the near side iteratively, deferring far children.
+		for n := f.node; n != nil; {
+			if n.point != exclude {
+				s.offer(neighbor{dist2(q, t.pts[n.point]), n.point}, k)
+			}
+			diff := q[n.axis] - t.pts[n.point][n.axis]
+			near, far := n.left, n.right
+			if diff > 0 {
+				near, far = n.right, n.left
+			}
+			if far != nil && (len(s.heap) < k || diff*diff < s.heap[0].dist2) {
+				s.stack = append(s.stack, kdFrame{far, diff * diff})
+			}
+			n = near
 		}
 	}
-	diff := q[n.axis] - t.pts[n.point][n.axis]
-	near, far := n.left, n.right
-	if diff > 0 {
-		near, far = n.right, n.left
+	// Insertion sort by (dist², index): k is small and the result must be
+	// deterministic under ties.
+	h := s.heap
+	for i := 1; i < len(h); i++ {
+		x := h[i]
+		j := i - 1
+		for j >= 0 && (h[j].dist2 > x.dist2 || (h[j].dist2 == x.dist2 && h[j].idx > x.idx)) {
+			h[j+1] = h[j]
+			j--
+		}
+		h[j+1] = x
 	}
-	t.search(near, q, k, exclude, h)
-	// Prune the far side when the splitting plane is farther than the current
-	// worst neighbor.
-	if h.Len() < k || diff*diff < (*h)[0].dist2 {
-		t.search(far, q, k, exclude, h)
+	s.out = s.out[:0]
+	for _, nb := range h {
+		s.out = append(s.out, nb.idx)
+	}
+	return s.out
+}
+
+// offer inserts nb into the bounded max-heap, displacing the current worst
+// when full. Open-coded sift up/down avoids container/heap's interface
+// boxing, which would allocate on every visited node.
+func (s *KNNScratch) offer(nb neighbor, k int) {
+	h := s.heap
+	if len(h) < k {
+		h = append(h, nb)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p].dist2 >= h[i].dist2 {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+		s.heap = h
+		return
+	}
+	if nb.dist2 >= h[0].dist2 {
+		return
+	}
+	h[0] = nb
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l].dist2 > h[big].dist2 {
+			big = l
+		}
+		if r < len(h) && h[r].dist2 > h[big].dist2 {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
 	}
 }
 

@@ -127,3 +127,53 @@ func TestKDTreeMismatchedDimPanics(t *testing.T) {
 	}()
 	NewKDTree([][]float64{{1, 2}, {3}})
 }
+
+func TestKNNIntoMatchesKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	tree := NewKDTree(pts)
+	var s KNNScratch
+	for trial := 0; trial < 50; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		k := 1 + rng.Intn(10)
+		a := tree.KNN(q, k, -1)
+		b := tree.KNNInto(&s, q, k, -1)
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %v vs %v", a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("results differ: %v vs %v", a, b)
+			}
+		}
+		// And both agree with the brute-force oracle on distances.
+		ref := bruteKNN(pts, q, k, -1)
+		for i := range a {
+			if dist2(q, pts[a[i]]) != dist2(q, pts[ref[i]]) {
+				t.Fatalf("tree result %v disagrees with brute force %v", a, ref)
+			}
+		}
+	}
+}
+
+func TestKNNIntoZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	pts := make([][]float64, 500)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	tree := NewKDTree(pts)
+	var s KNNScratch
+	tree.KNNInto(&s, pts[0], 8, 0) // warm up: grow heap/stack/out once
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 20; i++ {
+			tree.KNNInto(&s, pts[i], 8, i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("KNNInto steady state allocates %v per run, want 0", allocs)
+	}
+}

@@ -16,6 +16,11 @@
 // atomic training checkpoint every -checkpoint-every iterations (and on
 // Ctrl-C / SIGTERM, which stop the fit cleanly), and -resume continues an
 // interrupted fit from that checkpoint with a bit-identical trajectory.
+//
+// Million-row tables train with the stochastic updaters: -updater sgd or
+// svrg iterates mini-batches of about -batch-cells observed cells per step,
+// capped at -epochs passes over the observed set; checkpoints and -resume
+// keep their bit-identical guarantee.
 package main
 
 import (
@@ -71,7 +76,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	p := fs.Int("p", 3, "spatial nearest neighbors")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	maxIter := fs.Int("maxiter", 500, "iteration cap")
+	epochs := fs.Int("epochs", 0, "epoch cap for stochastic updaters (overrides -maxiter when > 0)")
 	tol := fs.Float64("tol", 0, "relative objective-change early stop (0 = default 1e-5)")
+	updater := fs.String("updater", "multiplicative", "optimizer: multiplicative | gd | sgd | svrg")
+	batchCells := fs.Int("batch-cells", 0, "sgd/svrg: target observed cells per mini-batch (0 = default 32768)")
+	learningRate := fs.Float64("lr", 0, "gd/sgd/svrg learning rate (0 = default 1e-3)")
 	threshold := fs.Float64("threshold", 6, "repair: outlier detection threshold")
 	saveModel := fs.String("savemodel", "", "impute: also save the fitted model here")
 	modelPath := fs.String("model", "", "foldin: fitted model written by -savemodel")
@@ -95,8 +104,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	up, err := core.ParseUpdater(*updater)
+	if err != nil {
+		return err
+	}
+	if *epochs > 0 {
+		*maxIter = *epochs // a stochastic iteration is one epoch over Ω
+	}
 	cfg := core.Config{
 		K: *k, Lambda: *lambda, P: *p, Seed: *seed, MaxIter: *maxIter, Tol: *tol,
+		Updater: up, BatchCells: *batchCells, LearningRate: *learningRate,
 		SpatialIndex: six,
 		Ctx:          ctx, CheckpointPath: *checkpoint, CheckpointEvery: *checkpointEvery,
 	}

@@ -41,6 +41,16 @@ type checkpointWire struct {
 	Model     []byte // core Save payload (wire v3: includes Partial, Recoveries)
 	StepScale float64
 	Jitter    uint64
+
+	// Stochastic-updater state (appended fields; gob leaves them zero when
+	// decoding checkpoints written before the stochastic updaters existed).
+	// SampleState is the batch sampler's RNG position; AnchorU/AnchorV/GradV
+	// and AnchorAge are the SVRG anchor snapshot (empty for SGD).
+	SampleState uint64
+	AnchorAge   int
+	AnchorU     []byte
+	AnchorV     []byte
+	GradV       []byte
 }
 
 // Checkpoint is the decoded image of a training checkpoint.
@@ -49,6 +59,13 @@ type Checkpoint struct {
 	Hash      uint64
 	StepScale float64
 	Jitter    uint64
+
+	// Stochastic-updater state (zero/nil unless written by an SGD/SVRG fit).
+	SampleState uint64
+	AnchorAge   int
+	AnchorU     *mat.Dense
+	AnchorV     *mat.Dense
+	GradV       *mat.Dense
 }
 
 // writeCheckpoint atomically persists the current trainer state.
@@ -60,6 +77,19 @@ func (tr *trainer) writeCheckpoint(model *Model) error {
 	wire := checkpointWire{
 		Magic: ckptMagic, Version: ckptVersion, Hash: tr.hash,
 		Model: buf.Bytes(), StepScale: tr.stepScale, Jitter: tr.jitter,
+		SampleState: tr.sample, AnchorAge: tr.anchorAge,
+	}
+	if tr.anchorU != nil {
+		var err error
+		if wire.AnchorU, err = tr.anchorU.MarshalBinary(); err != nil {
+			return fmt.Errorf("core: checkpoint %s: %w", tr.ckptPath, err)
+		}
+		if wire.AnchorV, err = tr.anchorV.MarshalBinary(); err != nil {
+			return fmt.Errorf("core: checkpoint %s: %w", tr.ckptPath, err)
+		}
+		if wire.GradV, err = tr.gradV.MarshalBinary(); err != nil {
+			return fmt.Errorf("core: checkpoint %s: %w", tr.ckptPath, err)
+		}
 	}
 	if err := writeFileAtomic(tr.ckptPath, func(w io.Writer) error {
 		return gob.NewEncoder(w).Encode(&wire)
@@ -91,9 +121,52 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint %s: %w", path, err)
 	}
-	ck := &Checkpoint{Model: model, Hash: wire.Hash, StepScale: wire.StepScale, Jitter: wire.Jitter}
+	ck := &Checkpoint{
+		Model: model, Hash: wire.Hash, StepScale: wire.StepScale, Jitter: wire.Jitter,
+		SampleState: wire.SampleState, AnchorAge: wire.AnchorAge,
+	}
 	if ck.StepScale <= 0 || math.IsNaN(ck.StepScale) || math.IsInf(ck.StepScale, 0) {
 		return nil, fmt.Errorf("core: checkpoint %s has invalid step scale %v", path, ck.StepScale)
+	}
+	if ck.AnchorAge < 0 {
+		return nil, fmt.Errorf("core: checkpoint %s has negative anchor age %d", path, ck.AnchorAge)
+	}
+	// SVRG anchor snapshot: all three blobs travel together, with the exact
+	// factor shapes and finite entries (hostile-input parity with the model
+	// payload itself).
+	present := 0
+	for _, b := range [][]byte{wire.AnchorU, wire.AnchorV, wire.GradV} {
+		if len(b) > 0 {
+			present++
+		}
+	}
+	if present != 0 && present != 3 {
+		return nil, fmt.Errorf("core: checkpoint %s has a torn anchor snapshot", path)
+	}
+	if present == 3 {
+		ck.AnchorU, ck.AnchorV, ck.GradV = new(mat.Dense), new(mat.Dense), new(mat.Dense)
+		for i, p := range []struct {
+			blob []byte
+			dst  *mat.Dense
+		}{{wire.AnchorU, ck.AnchorU}, {wire.AnchorV, ck.AnchorV}, {wire.GradV, ck.GradV}} {
+			if err := p.dst.UnmarshalBinary(p.blob); err != nil {
+				return nil, fmt.Errorf("core: checkpoint %s anchor %d: %w", path, i, err)
+			}
+			if !p.dst.IsFinite() {
+				return nil, fmt.Errorf("core: checkpoint %s anchor %d has non-finite entries", path, i)
+			}
+		}
+		un, uk := model.U.Dims()
+		vk, vm := model.V.Dims()
+		if ar, ac := ck.AnchorU.Dims(); ar != un || ac != uk {
+			return nil, fmt.Errorf("core: checkpoint %s anchor U is %dx%d, want %dx%d", path, ar, ac, un, uk)
+		}
+		if ar, ac := ck.AnchorV.Dims(); ar != vk || ac != vm {
+			return nil, fmt.Errorf("core: checkpoint %s anchor V is %dx%d, want %dx%d", path, ar, ac, vk, vm)
+		}
+		if ar, ac := ck.GradV.Dims(); ar != vk || ac != vm {
+			return nil, fmt.Errorf("core: checkpoint %s anchor gradient is %dx%d, want %dx%d", path, ar, ac, vk, vm)
+		}
 	}
 	return ck, nil
 }
@@ -183,6 +256,11 @@ func ResumeFit(path string, x *mat.Dense, omega *mat.Mask, opts *ResumeOptions) 
 	tr.hash = ck.Hash
 	tr.stepScale = ck.StepScale
 	tr.jitter = ck.Jitter
+	if cfg.Updater.Stochastic() {
+		tr.sample = ck.SampleState
+		tr.anchorU, tr.anchorV, tr.gradV = ck.AnchorU, ck.AnchorV, ck.GradV
+		tr.anchorAge = ck.AnchorAge
+	}
 	tr.begin(model)
 	return runFit(model, tr, x, rx, omega, graph, ix)
 }
@@ -229,6 +307,8 @@ func fitHash(x *mat.Dense, omega *mat.Mask, method Method, l int, cfg Config) ui
 	wf(cfg.LearningRate)
 	wf(cfg.Eps)
 	wi(int64(cfg.Updater))
+	wi(int64(cfg.BatchCells))
+	wi(int64(cfg.AnchorEvery))
 	wi(int64(cfg.LandmarkSource))
 	wi(int64(cfg.GraphMode))
 	wi(int64(cfg.SpatialIndex))

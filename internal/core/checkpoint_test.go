@@ -45,6 +45,10 @@ func TestResumeBitIdenticalTrajectory(t *testing.T) {
 		{SMF, GradientDescent},
 		{SMFL, Multiplicative},
 		{SMFL, GradientDescent},
+		{NMF, SGD},
+		{SMFL, SGD},
+		{NMF, SVRG},
+		{SMFL, SVRG},
 	}
 	for _, tc := range cases {
 		t.Run(fmt.Sprintf("%v-%v", tc.method, tc.updater), func(t *testing.T) {
@@ -52,8 +56,12 @@ func TestResumeBitIdenticalTrajectory(t *testing.T) {
 			cfg.MaxIter = 40
 			cfg.Tol = 1e-12 // keep both runs iterating the full horizon
 			cfg.Updater = tc.updater
-			if tc.updater == GradientDescent {
+			if tc.updater != Multiplicative {
 				cfg.LearningRate = 5e-3
+			}
+			if tc.updater.Stochastic() {
+				cfg.BatchCells = 64 // several batches per epoch at this size
+				cfg.AnchorEvery = 3 // refreshes land on and off checkpoints
 			}
 
 			full, err := Fit(x, omega, l, tc.method, cfg)

@@ -87,7 +87,53 @@ const (
 	// GradientDescent is the fixed-learning-rate scheme of Section III-B1,
 	// kept for the SMF-GD comparison in Fig. 5.
 	GradientDescent
+	// SGD is the stochastic mini-batch variant of GradientDescent: each
+	// epoch visits Ω once in seed-shuffled row blocks of about
+	// Config.BatchCells observed cells, updating V after every batch
+	// instead of once per sweep. Spatial/landmark terms and the objective
+	// are evaluated per epoch.
+	SGD
+	// SVRG is SGD with variance-reduced V-gradients: batch directions are
+	// corrected against a periodically refreshed anchor's full gradient
+	// (after "A Unified Framework for Stochastic Matrix Factorization via
+	// Variance Reduction"), trading one full |Ω| pass every
+	// Config.AnchorEvery epochs for near-full-gradient update quality.
+	SVRG
 )
+
+// String implements fmt.Stringer with the flag spellings.
+func (u Updater) String() string {
+	switch u {
+	case Multiplicative:
+		return "multiplicative"
+	case GradientDescent:
+		return "gd"
+	case SGD:
+		return "sgd"
+	case SVRG:
+		return "svrg"
+	}
+	return fmt.Sprintf("Updater(%d)", int(u))
+}
+
+// ParseUpdater maps the flag spellings onto the enum.
+func ParseUpdater(s string) (Updater, error) {
+	switch s {
+	case "multiplicative", "mult":
+		return Multiplicative, nil
+	case "gd":
+		return GradientDescent, nil
+	case "sgd":
+		return SGD, nil
+	case "svrg":
+		return SVRG, nil
+	}
+	return 0, fmt.Errorf("core: unknown updater %q (want multiplicative, gd, sgd or svrg)", s)
+}
+
+// Stochastic reports whether the updater trains on sampled mini-batches
+// (and therefore carries sampler/anchor state through checkpoints).
+func (u Updater) Stochastic() bool { return u == SGD || u == SVRG }
 
 // LandmarkSource selects how landmark values C are generated (ablation A3;
 // the paper uses KMeansCenters).
@@ -159,7 +205,16 @@ type Config struct {
 	LearningRate   float64 // GD only (default 1e-3)
 	Eps            float64 // denominator guard (default 1e-12)
 
-	Updater        Updater
+	Updater Updater
+	// BatchCells is the target number of observed cells per mini-batch for
+	// the stochastic updaters (default 32768). Batches are whole rows cut
+	// from a per-epoch shuffled permutation, so actual batch sizes float
+	// slightly above the target.
+	BatchCells int
+	// AnchorEvery is the SVRG anchor cadence in epochs: the anchor factors
+	// and their full V-gradient are re-snapshotted every AnchorEvery
+	// committed epochs (default 2).
+	AnchorEvery    int
 	LandmarkSource LandmarkSource
 	GraphMode      spatial.BuildMode // exact backend: KD-tree by default
 	// SpatialIndex picks the spatial backend (exact by default). With
@@ -238,6 +293,12 @@ func (c Config) withDefaults() Config {
 	if c.FoldInTol == 0 {
 		c.FoldInTol = 1e-8
 	}
+	if c.BatchCells == 0 {
+		c.BatchCells = 32768
+	}
+	if c.AnchorEvery == 0 {
+		c.AnchorEvery = 2
+	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 25
 	}
@@ -268,6 +329,22 @@ func (c Config) validate(n, m, l int, method Method) error {
 	}
 	if method == SMFL && l >= m {
 		return errors.New("core: SI cannot cover every column under SMFL")
+	}
+	switch c.Updater {
+	case Multiplicative, GradientDescent, SGD, SVRG:
+	default:
+		return fmt.Errorf("core: unknown updater %d", int(c.Updater))
+	}
+	if c.Weights != nil && c.Updater != Multiplicative {
+		return fmt.Errorf("core: weighted objective requires the multiplicative updater, got %s (allowed updaters: multiplicative)", c.Updater)
+	}
+	if c.Updater.Stochastic() {
+		if c.BatchCells < 1 {
+			return fmt.Errorf("core: BatchCells must be positive for the %s updater", c.Updater)
+		}
+		if c.AnchorEvery < 1 {
+			return fmt.Errorf("core: AnchorEvery must be positive for the %s updater", c.Updater)
+		}
 	}
 	return nil
 }

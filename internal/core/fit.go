@@ -49,9 +49,6 @@ func Fit(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*Mode
 		if !w.IsFinite() || mat.Min(w) < 0 {
 			return nil, errors.New("core: weights must be finite and nonnegative")
 		}
-		if cfg.Updater != Multiplicative {
-			return nil, errors.New("core: weighted objective requires the Multiplicative updater")
-		}
 	}
 
 	// Spatial structure (SMF and SMFL only).
@@ -141,6 +138,8 @@ func runFit(model *Model, tr *trainer, x, rx *mat.Dense, omega *mat.Mask, graph 
 		err = runMultiplicative(model, x, rx, omega, graph, tr)
 	case GradientDescent:
 		err = runGradientDescent(model, x, rx, omega, graph, tr)
+	case SGD, SVRG:
+		err = runStochastic(model, x, omega, graph, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown updater %d", model.Config.Updater)
 	}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/spatialmf/smfl/internal/dataset"
+)
+
+// TestLargeNStochasticSpeedup is the large-N smoke behind the stochastic
+// updaters' reason to exist: on a 150k-row synthetic table at 90% missing,
+// mini-batch SGD must reach full-sweep gradient descent's final training
+// objective in at most a third of GD's wall-clock. The GD baseline runs at a
+// step size tuned for its full-|Ω| column gradients (the family default 5e-3
+// diverges there — see cmd/smflbench's gdLRGrid); SGD runs at the family
+// default. Wall-clock assertions are inherently machine-sensitive, so the
+// bar (3×) sits well below the ~10× measured in BENCH_fit.json. Gated behind
+// SMFL_LARGE=1 so the tier-1 -race suite stays fast.
+func TestLargeNStochasticSpeedup(t *testing.T) {
+	if os.Getenv("SMFL_LARGE") == "" {
+		t.Skip("set SMFL_LARGE=1 to run the 150k-row smoke")
+	}
+	const n, epochs = 150000, 40
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "LargeN", N: n, M: 30, L: 2,
+		Latents: 5, Bumps: 8, Clusters: 6, Noise: 0.2, Private: 0.3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	omega, err := dataset.InjectMissing(res.Data, dataset.MissingSpec{Rate: 0.9, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Data.X
+
+	cfg := Config{K: 6, Lambda: 0.1, MaxIter: epochs, Tol: 1e-15, Seed: 7}
+
+	gdCfg := cfg
+	gdCfg.Updater = GradientDescent
+	// Tuned for this problem size: stable steps for column gradients that
+	// sum ~|Ω|/M ≈ 15k observed cells each.
+	gdCfg.LearningRate = 4e-6
+	start := time.Now()
+	gd, err := Fit(x, omega, res.Data.L, NMF, gdCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdWall := time.Since(start)
+	gdObj := gd.Objective[len(gd.Objective)-1]
+
+	sgdCfg := cfg
+	sgdCfg.Updater = SGD
+	sgdCfg.LearningRate = 5e-3
+	sgdCfg.BatchCells = 32768
+	start = time.Now()
+	sgd, err := Fit(x, omega, res.Data.L, NMF, sgdCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgdWall := time.Since(start)
+	msPerEpoch := sgdWall.Seconds() * 1e3 / float64(sgd.Iters)
+
+	epochsToTol := 0
+	for i, o := range sgd.Objective {
+		if o <= gdObj {
+			epochsToTol = i + 1
+			break
+		}
+	}
+	if epochsToTol == 0 {
+		t.Fatalf("SGD never reached GD's final objective %.2f (SGD final %.2f)",
+			gdObj, sgd.Objective[len(sgd.Objective)-1])
+	}
+	wallToTol := time.Duration(msPerEpoch * float64(epochsToTol) * float64(time.Millisecond))
+	t.Logf("N=%d: gd %v to obj %.2f; sgd %.1fms/epoch, %d epochs to match (%.1fx)",
+		n, gdWall.Round(time.Millisecond), gdObj, msPerEpoch, epochsToTol,
+		gdWall.Seconds()/wallToTol.Seconds())
+	if wallToTol*3 > gdWall {
+		t.Fatalf("SGD wall-clock-to-equal-objective %v not ≥3x faster than GD's %v",
+			wallToTol.Round(time.Millisecond), gdWall.Round(time.Millisecond))
+	}
+}

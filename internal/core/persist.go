@@ -18,11 +18,12 @@ import (
 // Version field on the wire, no normalization stats) predate the serving
 // layer; version 3 adds the partial/recovery tags and the fault-tolerance
 // config fields; version 4 adds the spatial-index mode and the landmark
-// placer. gob leaves absent fields zero, so Load reads older files
+// placer; version 5 adds the stochastic-updater config (batch size, anchor
+// cadence). gob leaves absent fields zero, so Load reads older files
 // unchanged, and older decoders skip the appended fields. Decoders must
 // tolerate unknown future fields the same way: never repurpose a field name,
 // only append.
-const wireVersion = 4
+const wireVersion = 5
 
 // modelWire is the gob-encodable image of a fitted Model. Matrices travel
 // through their binary marshalers (see internal/mat/serialize.go).
@@ -73,6 +74,10 @@ type configWire struct {
 
 	// Since version 4.
 	SpatialIndex SpatialIndex
+
+	// Since version 5.
+	BatchCells  int
+	AnchorEvery int
 }
 
 // Save serializes the fitted model (gob container with binary matrices).
@@ -106,6 +111,7 @@ func (m *Model) Save(w io.Writer) error {
 			FoldInTol: cfg.FoldInTol, CheckpointEvery: cfg.CheckpointEvery,
 			WatchdogRetries: cfg.WatchdogRetries, WatchdogExplode: cfg.WatchdogExplode,
 			SpatialIndex: cfg.SpatialIndex,
+			BatchCells:   cfg.BatchCells, AnchorEvery: cfg.AnchorEvery,
 		},
 		L: m.L, U: u, V: v, C: c,
 		Objective: m.Objective, Iters: m.Iters, Converged: m.Converged,
@@ -169,6 +175,7 @@ func Load(r io.Reader) (*Model, error) {
 			FoldInTol: cw.FoldInTol, CheckpointEvery: cw.CheckpointEvery,
 			WatchdogRetries: cw.WatchdogRetries, WatchdogExplode: cw.WatchdogExplode,
 			SpatialIndex: cw.SpatialIndex,
+			BatchCells:   cw.BatchCells, AnchorEvery: cw.AnchorEvery,
 		},
 		L: wire.L, U: u, V: v, C: c, Norm: norm,
 		Objective: wire.Objective, Iters: wire.Iters, Converged: wire.Converged,
@@ -223,6 +230,15 @@ func validateLoaded(m *Model) error {
 	}
 	if m.Config.SpatialIndex != SpatialExact && m.Config.SpatialIndex != SpatialLandmark {
 		return fmt.Errorf("core: load: unknown spatial index %d", m.Config.SpatialIndex)
+	}
+	switch m.Config.Updater {
+	case Multiplicative, GradientDescent, SGD, SVRG:
+	default:
+		return fmt.Errorf("core: load: unknown updater %d", int(m.Config.Updater))
+	}
+	if m.Config.BatchCells < 0 || m.Config.AnchorEvery < 0 {
+		return fmt.Errorf("core: load: negative stochastic config (batch %d, anchor %d)",
+			m.Config.BatchCells, m.Config.AnchorEvery)
 	}
 	if m.Placer != nil {
 		if d := m.Placer.Dim(); d != m.L {

@@ -54,6 +54,18 @@ type trainer struct {
 	// the identical trajectory.
 	stepScale float64
 	jitter    uint64
+
+	// Stochastic-updater state (SGD/SVRG), checkpointed alongside the
+	// factors so resumed runs replay bit-identically. sample is the batch
+	// sampler's RNG position as of the last committed epoch. anchorU/anchorV
+	// are SVRG's variance-reduction anchor, gradV the anchor's full observed
+	// V-gradient, and anchorAge the committed epochs since the last refresh
+	// (all nil/zero for SGD and fresh SVRG fits).
+	sample    uint64
+	anchorU   *mat.Dense
+	anchorV   *mat.Dense
+	gradV     *mat.Dense
+	anchorAge int
 }
 
 // newTrainer builds the trainer for a fresh Fit. cfg must already have
@@ -66,6 +78,7 @@ func newTrainer(method Method, cfg Config) *trainer {
 		ckptEvery: cfg.CheckpointEvery,
 		stepScale: 1,
 		jitter:    uint64(cfg.Seed) ^ 0xda3e39cb94b95bdb,
+		sample:    uint64(cfg.Seed) ^ 0x6a09e667f3bcc908,
 	}
 }
 
@@ -173,7 +186,9 @@ func (tr *trainer) recover(model *Model, it int, reason string) error {
 	model.V.CopyFrom(tr.goodV)
 	model.Recoveries++
 	switch tr.cfg.Updater {
-	case GradientDescent:
+	case GradientDescent, SGD, SVRG:
+		// Learning-rate backoff; the stochastic runners additionally rewind
+		// their sampler/anchor state before retrying the epoch.
 		tr.stepScale *= 0.5
 	default:
 		if offendV {

@@ -37,6 +37,11 @@ type Options struct {
 	// SpatialIndex picks the p-NN graph backend for every MF fit in the run
 	// (exact by default; landmark for the sub-quadratic path).
 	SpatialIndex core.SpatialIndex
+	// Updater selects the optimizer for every MF fit (multiplicative by
+	// default; sgd/svrg train on mini-batches of BatchCells observed cells).
+	Updater core.Updater
+	// BatchCells is the stochastic mini-batch size (0 = core default).
+	BatchCells int
 	// Quiet suppresses progress lines on Log.
 	Quiet bool
 	// Log receives progress lines (default: discarded).
@@ -90,16 +95,24 @@ func (o Options) mfConfig(m int, seed int64) core.Config {
 	if k >= m {
 		k = m - 1
 	}
-	return core.Config{
+	cfg := core.Config{
 		K:            k,
 		Lambda:       0.1,
 		P:            3,
 		MaxIter:      o.MaxIter,
 		Tol:          1e-6,
 		Seed:         seed,
+		Updater:      o.Updater,
+		BatchCells:   o.BatchCells,
 		SpatialIndex: o.SpatialIndex,
 		Ctx:          o.Ctx, // cancellation reaches into the MF fits themselves
 	}
+	if o.Updater != core.Multiplicative && cfg.LearningRate == 0 {
+		// The gradient family needs a larger step than the core default to
+		// converge within the paper's iteration budget on [0,1] data.
+		cfg.LearningRate = 5e-3
+	}
+	return cfg
 }
 
 // Table is a printable experiment result.

@@ -49,6 +49,12 @@ func (o Options) fingerprint() string {
 	if o.SpatialIndex != core.SpatialExact {
 		fp += " spatial=" + o.SpatialIndex.String()
 	}
+	if o.Updater != core.Multiplicative {
+		fp += " updater=" + o.Updater.String()
+	}
+	if o.BatchCells != 0 {
+		fp += fmt.Sprintf(" batch=%d", o.BatchCells)
+	}
 	return fp
 }
 

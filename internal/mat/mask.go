@@ -3,6 +3,7 @@ package mat
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 )
 
@@ -14,9 +15,11 @@ type Mask struct {
 	words      []uint64
 	// index lazily caches the observed columns per row in CSR form for the
 	// fused masked kernels, which walk Ω once per training iteration. It is
-	// invalidated by Observe/Hide; concurrent rebuilds are benign (each
-	// builder produces an identical index and the last store wins).
-	index atomic.Pointer[maskIndex]
+	// invalidated by Observe/Hide; indexMu serializes the build so a burst of
+	// concurrent first uses (e.g. pooled workers hitting a fresh mask) runs
+	// exactly one O(rows·cols) scan instead of one per goroutine.
+	index   atomic.Pointer[maskIndex]
+	indexMu sync.Mutex
 }
 
 // maskIndex is a CSR view of Ω: row i's observed columns are

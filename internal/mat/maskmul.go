@@ -52,8 +52,17 @@ func (m *Mask) appendObservedCols(js []int32, i int) []int32 {
 // rowIdx returns the CSR index of Ω, building and caching it on first use.
 // One build costs a single pass over the bitset; the fused kernels then read
 // each row's observed-column list directly instead of re-scanning mask words
-// every call.
+// every call. The build is goroutine-safe via double-checked locking: the
+// fast path is a single atomic load, and concurrent first uses block on one
+// builder rather than each redundantly scanning the bitset. Observe/Hide
+// still invalidate by storing nil, so a mutation between uses triggers one
+// fresh build.
 func (m *Mask) rowIdx() *maskIndex {
+	if ix := m.index.Load(); ix != nil {
+		return ix
+	}
+	m.indexMu.Lock()
+	defer m.indexMu.Unlock()
 	if ix := m.index.Load(); ix != nil {
 		return ix
 	}

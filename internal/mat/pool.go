@@ -165,6 +165,25 @@ func ParallelRange(n, totalWork int, fn func(lo, hi int)) {
 	parallelChunks(n, nw, func(_, lo, hi int) { fn(lo, hi) })
 }
 
+// ChunksFor reports how many contiguous chunks the pooled helpers would
+// split n items into given the total scalar-op estimate (1 means serial).
+// Callers that keep per-chunk accumulation buffers size them with this.
+func ChunksFor(n, totalWork int) int { return chunksFor(n, totalWork) }
+
+// ParallelChunks runs fn over [0,n) split into exactly nchunks contiguous
+// chunks on the shared pool, passing each chunk's index so callers can
+// accumulate into disjoint per-chunk buffers and combine them in chunk order
+// (the deterministic-reduction pattern of parallelReduce, exposed for
+// kernels whose partials are not a single float64). nchunks <= 1 runs fn
+// serially as chunk 0.
+func ParallelChunks(n, nchunks int, fn func(ci, lo, hi int)) {
+	if nchunks <= 1 || n == 0 {
+		fn(0, 0, n)
+		return
+	}
+	parallelChunks(n, nchunks, fn)
+}
+
 // parallelReduce sums fn over [0,n) with per-chunk partials combined in
 // chunk order, keeping the reduction deterministic for a fixed pool size.
 func parallelReduce(n, totalWork int, fn func(lo, hi int) float64) float64 {

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/lint"
+)
+
+// violatingModule writes a throwaway module whose internal/mat package
+// breaks several conventions at once, and returns its root.
+func violatingModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module example.com/x\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "mat")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package mat
+
+import "math/rand"
+
+func Bad(n int) bool {
+	go func() {}()          // nogoroutine
+	x := rand.Float64()     // noglobalrand
+	return x == 0.5         // floatcmp
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestCLIFindsViolations(t *testing.T) {
+	root := violatingModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, frag := range []string{"bad.go:6:2", "[nogoroutine]", "bad.go:7:7", "[noglobalrand]", "bad.go:8:9", "[floatcmp]", "fix:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("text output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIChecksFilter(t *testing.T) {
+	root := violatingModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-checks=nogoroutine", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[nogoroutine]") {
+		t.Errorf("filtered run lost its own check:\n%s", out)
+	}
+	for _, frag := range []string{"[floatcmp]", "[noglobalrand]"} {
+		if strings.Contains(out, frag) {
+			t.Errorf("-checks=nogoroutine leaked %s findings:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	root := violatingModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostics array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d findings, want 3: %+v", len(diags), diags)
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Check] = true
+		if d.Line == 0 || d.File == "" || d.Message == "" || d.Fix == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+	for _, c := range []string{"nogoroutine", "noglobalrand", "floatcmp"} {
+		if !seen[c] {
+			t.Errorf("JSON output missing %s finding: %+v", c, diags)
+		}
+	}
+}
+
+func TestCLIJSONCleanIsEmptyArray(t *testing.T) {
+	root := violatingModule(t)
+	var stdout, stderr bytes.Buffer
+	// ctxpoll has nothing to say about this module: clean exit, empty array.
+	code := run([]string{"-C", root, "-json", "-checks=ctxpoll", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil || len(diags) != 0 {
+		t.Fatalf("clean -json run = %q (err %v); want []", stdout.String(), err)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks=nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check: exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuch") {
+		t.Fatalf("unknown-check error does not name the check: %s", stderr.String())
+	}
+	stderr.Reset()
+	root := violatingModule(t)
+	if code := run([]string{"-C", root, "./nonexistent"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad pattern: exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestCLIRepoClean runs the real binary's entry point over this repository:
+// the committed tree must stay violation-free.
+func TestCLIRepoClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("smflvet over the repo: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+}

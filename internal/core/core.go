@@ -266,7 +266,7 @@ func (c Config) withDefaults() Config {
 	if c.K == 0 {
 		c.K = 10
 	}
-	if c.Lambda == 0 {
+	if c.Lambda == 0 { //lint:ignore floatcmp zero config value means unset
 		c.Lambda = 0.1
 	}
 	if c.P == 0 {
@@ -275,7 +275,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxIter == 0 {
 		c.MaxIter = 500
 	}
-	if c.Tol == 0 {
+	if c.Tol == 0 { //lint:ignore floatcmp zero config value means unset
 		c.Tol = 1e-5
 	}
 	if c.KMeansMaxIter == 0 {
@@ -284,13 +284,13 @@ func (c Config) withDefaults() Config {
 	if c.KMeansRestarts == 0 {
 		c.KMeansRestarts = 1
 	}
-	if c.LearningRate == 0 {
+	if c.LearningRate == 0 { //lint:ignore floatcmp zero config value means unset
 		c.LearningRate = 1e-3
 	}
-	if c.Eps == 0 {
+	if c.Eps == 0 { //lint:ignore floatcmp zero config value means unset
 		c.Eps = 1e-12
 	}
-	if c.FoldInTol == 0 {
+	if c.FoldInTol == 0 { //lint:ignore floatcmp zero config value means unset
 		c.FoldInTol = 1e-8
 	}
 	if c.BatchCells == 0 {
@@ -305,7 +305,7 @@ func (c Config) withDefaults() Config {
 	if c.WatchdogRetries == 0 {
 		c.WatchdogRetries = 5
 	}
-	if c.WatchdogExplode == 0 {
+	if c.WatchdogExplode == 0 { //lint:ignore floatcmp zero config value means unset
 		c.WatchdogExplode = 100
 	}
 	return c

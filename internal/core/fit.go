@@ -358,7 +358,7 @@ func atMulCols(dst, a, b *mat.Dense, c0 int, omega *mat.Mask) {
 					d3 := dd[(r+3)*m : (r+4)*m]
 					for j := jlo; j < jhi; j++ {
 						bv := bi[j]
-						if bv == 0 {
+						if bv == 0 { //lint:ignore floatcmp exact-zero sparsity skip
 							continue
 						}
 						d0[j] += a0 * bv
@@ -371,7 +371,7 @@ func atMulCols(dst, a, b *mat.Dense, c0 int, omega *mat.Mask) {
 					av := ai[r]
 					dr := dd[r*m : (r+1)*m]
 					for j := jlo; j < jhi; j++ {
-						if bv := bi[j]; bv != 0 {
+						if bv := bi[j]; bv != 0 { //lint:ignore floatcmp exact-zero sparsity skip
 							dr[j] += av * bv
 						}
 					}
@@ -380,7 +380,7 @@ func atMulCols(dst, a, b *mat.Dense, c0 int, omega *mat.Mask) {
 			}
 			for r := 0; r < k; r++ {
 				av := ai[r]
-				if av == 0 {
+				if av == 0 { //lint:ignore floatcmp exact-zero sparsity skip
 					continue
 				}
 				dr := dd[r*m : (r+1)*m]

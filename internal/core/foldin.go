@@ -79,7 +79,7 @@ func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense,
 		}
 	}
 	eps := m.Config.Eps
-	if eps == 0 {
+	if eps == 0 { //lint:ignore floatcmp zero config value means unset
 		eps = 1e-12
 	}
 	tol := m.Config.FoldInTol

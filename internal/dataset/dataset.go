@@ -128,7 +128,7 @@ func (nz *Normalizer) Apply(x *mat.Dense) {
 	for j := 0; j < m; j++ {
 		span := nz.Maxs[j] - nz.Mins[j]
 		for i := 0; i < n; i++ {
-			if span == 0 {
+			if span == 0 { //lint:ignore floatcmp degenerate constant-column guard
 				x.Set(i, j, 0.5)
 				continue
 			}
@@ -146,7 +146,7 @@ func (nz *Normalizer) Invert(x *mat.Dense) {
 	for j := 0; j < m; j++ {
 		span := nz.Maxs[j] - nz.Mins[j]
 		for i := 0; i < n; i++ {
-			if span == 0 {
+			if span == 0 { //lint:ignore floatcmp degenerate constant-column guard
 				x.Set(i, j, nz.Mins[j])
 				continue
 			}

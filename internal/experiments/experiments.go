@@ -107,7 +107,7 @@ func (o Options) mfConfig(m int, seed int64) core.Config {
 		SpatialIndex: o.SpatialIndex,
 		Ctx:          o.Ctx, // cancellation reaches into the MF fits themselves
 	}
-	if o.Updater != core.Multiplicative && cfg.LearningRate == 0 {
+	if o.Updater != core.Multiplicative && cfg.LearningRate == 0 { //lint:ignore floatcmp zero config value means unset
 		// The gradient family needs a larger step than the core default to
 		// converge within the paper's iteration budget on [0,1] data.
 		cfg.LearningRate = 5e-3

@@ -59,7 +59,7 @@ func (d *DLM) Impute(x *mat.Dense, omega *mat.Mask, _ int) (*mat.Dense, error) {
 				num += w * x.At(r, j)
 				den += w
 			}
-			if den == 0 {
+			if den == 0 { //lint:ignore floatcmp exact-zero weight-sum guard
 				out.Set(i, j, means[j])
 				continue
 			}
@@ -98,7 +98,7 @@ func neighborsWithDistances(x *mat.Dense, omega *mat.Mask, i, j, k int) ([]int, 
 		cands = append(cands, cand{d, r})
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d != cands[b].d {
+		if cands[a].d != cands[b].d { //lint:ignore floatcmp deterministic tie-break needs exact equality
 			return cands[a].d < cands[b].d
 		}
 		return cands[a].idx < cands[b].idx

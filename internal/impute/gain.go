@@ -88,7 +88,7 @@ func (g *GAIN) Impute(x *mat.Dense, omega *mat.Mask, _ int) (*mat.Dense, error) 
 		for t := 0; t < batch; t++ {
 			xr, mr, tr := xb.Row(t), mb.Row(t), xt.Row(t)
 			for j := 0; j < m; j++ {
-				if mr[j] == 1 {
+				if mr[j] == 1 { //lint:ignore floatcmp mask entries are exact 0/1
 					tr[j] = xr[j]
 				} else {
 					tr[j] = 0.01 * rng.Float64()
@@ -145,7 +145,7 @@ func (g *GAIN) Impute(x *mat.Dense, omega *mat.Mask, _ int) (*mat.Dense, error) 
 		for t := 0; t < batch; t++ {
 			mr, dr, gr := mb.Row(t), dout.Row(t), gradAdv.Row(t)
 			for j := 0; j < m; j++ {
-				if mr[j] == 0 {
+				if mr[j] == 0 { //lint:ignore floatcmp mask entries are exact 0/1
 					gr[j] = -1 / (dr[j] + 1e-7)
 					cnt++
 				}
@@ -188,7 +188,7 @@ func (g *GAIN) Impute(x *mat.Dense, omega *mat.Mask, _ int) (*mat.Dense, error) 
 	for i := 0; i < n; i++ {
 		xr, mr, tr := x.Row(i), maskM.Row(i), xt.Row(i)
 		for j := 0; j < m; j++ {
-			if mr[j] == 1 {
+			if mr[j] == 1 { //lint:ignore floatcmp mask entries are exact 0/1
 				tr[j] = xr[j]
 			} else {
 				tr[j] = 0.01 * rng.Float64()

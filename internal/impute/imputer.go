@@ -124,7 +124,7 @@ func neighborsFor(x *mat.Dense, omega *mat.Mask, i, k, wantCol int) []int {
 		cands = append(cands, cand{d, r})
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d != cands[b].d {
+		if cands[a].d != cands[b].d { //lint:ignore floatcmp deterministic tie-break needs exact equality
 			return cands[a].d < cands[b].d
 		}
 		return cands[a].idx < cands[b].idx

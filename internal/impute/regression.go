@@ -281,7 +281,7 @@ func usableNeighbors(x *mat.Dense, omega *mat.Mask, i, j int, dets []int, k int)
 		cands = append(cands, cand{dist, r})
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d != cands[b].d {
+		if cands[a].d != cands[b].d { //lint:ignore floatcmp deterministic tie-break needs exact equality
 			return cands[a].d < cands[b].d
 		}
 		return cands[a].idx < cands[b].idx

@@ -40,7 +40,7 @@ func (m *MC) Impute(x *mat.Dense, omega *mat.Mask, _ int) (*mat.Dense, error) {
 	}
 	rx := omega.Project(nil, x)
 	normRX := mat.FrobNorm(rx)
-	if normRX == 0 {
+	if normRX == 0 { //lint:ignore floatcmp exact-zero matrix guard
 		return x.Clone(), nil
 	}
 	tau := m.Tau

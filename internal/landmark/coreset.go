@@ -139,7 +139,7 @@ func (ix *Index) KCenters(k, maxIter int, seed int64) (*mat.Dense, error) {
 			}
 		}
 		for c := 0; c < k; c++ {
-			if mass[c] == 0 {
+			if mass[c] == 0 { //lint:ignore floatcmp exact-zero mass detects an empty cluster
 				// Empty cluster: reseed to the heaviest-residual landmark.
 				best, bv := 0, -1.0
 				for i := 0; i < l; i++ {

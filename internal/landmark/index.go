@@ -193,7 +193,7 @@ func Build(si *mat.Dense, cfg Config) (*Index, error) {
 			}
 		}
 		sort.Slice(cand, func(x, y int) bool {
-			if cand[x].d2 != cand[y].d2 {
+			if cand[x].d2 != cand[y].d2 { //lint:ignore floatcmp deterministic tie-break needs exact equality
 				return cand[x].d2 < cand[y].d2
 			}
 			return cand[x].b < cand[y].b
@@ -490,7 +490,7 @@ func (ix *Index) searchRow(i, p, budget int, best []cand) []cand {
 					}
 				}
 				evals++
-				if len(best) == p && (dj2 > tau2 || (dj2 == tau2 && j >= best[p-1].row)) {
+				if len(best) == p && (dj2 > tau2 || (dj2 == tau2 && j >= best[p-1].row)) { //lint:ignore floatcmp deterministic tie-break needs exact equality
 					continue
 				}
 				ins := len(best)
@@ -499,7 +499,7 @@ func (ix *Index) searchRow(i, p, budget int, best []cand) []cand {
 				} else {
 					ins = p - 1
 				}
-				for ins > 0 && (best[ins-1].d2 > dj2 || (best[ins-1].d2 == dj2 && best[ins-1].row > j)) {
+				for ins > 0 && (best[ins-1].d2 > dj2 || (best[ins-1].d2 == dj2 && best[ins-1].row > j)) { //lint:ignore floatcmp deterministic tie-break needs exact equality
 					best[ins] = best[ins-1]
 					ins--
 				}

@@ -136,7 +136,7 @@ func SymEigenTopK(a *mat.Dense, k int, seed int64) (*Eigen, error) {
 				norm += vd[i] * vd[i]
 			}
 			norm = math.Sqrt(norm)
-			if norm == 0 {
+			if norm == 0 { //lint:ignore floatcmp exact-zero norm guard before division
 				break
 			}
 			for i := range vd {

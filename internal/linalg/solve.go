@@ -77,7 +77,7 @@ func Ridge(a *mat.Dense, b []float64, alpha float64) ([]float64, error) {
 	atb := make([]float64, n)
 	for i := 0; i < m; i++ {
 		bi := b[i]
-		if bi == 0 {
+		if bi == 0 { //lint:ignore floatcmp exact-zero sparsity skip
 			continue
 		}
 		ai := a.Row(i)

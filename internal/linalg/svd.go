@@ -54,7 +54,7 @@ func ComputeSVD(a *mat.Dense) (*SVD, error) {
 		tol       = 1e-12
 	)
 	scale := mat.FrobNorm(a)
-	if scale == 0 {
+	if scale == 0 { //lint:ignore floatcmp exact-zero norm guard before division
 		scale = 1
 	}
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -142,12 +142,12 @@ func (d *SVD) Reconstruct(rank int) *mat.Dense {
 	out := mat.NewDense(m, n)
 	for k := 0; k < r; k++ {
 		sk := d.S[k]
-		if sk == 0 {
+		if sk == 0 { //lint:ignore floatcmp exact-zero sparsity skip
 			continue
 		}
 		for i := 0; i < m; i++ {
 			uik := d.U.At(i, k) * sk
-			if uik == 0 {
+			if uik == 0 { //lint:ignore floatcmp exact-zero sparsity skip
 				continue
 			}
 			oi := out.Row(i)
@@ -184,7 +184,7 @@ func (d *SVD) NuclearNorm() float64 {
 // Rank returns the numerical rank at tolerance tol relative to the largest
 // singular value.
 func (d *SVD) Rank(tol float64) int {
-	if len(d.S) == 0 || d.S[0] == 0 {
+	if len(d.S) == 0 || d.S[0] == 0 { //lint:ignore floatcmp exact-zero leading singular value means zero matrix
 		return 0
 	}
 	cut := d.S[0] * tol

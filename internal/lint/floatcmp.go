@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// floatcmpAllowFiles is the epsilon-allowlist: module-relative files whose
+// exact float comparisons are an audited, pervasive pattern (exact-zero
+// sparsity skips in the innermost kernels), where per-line annotations would
+// drown the code. Everywhere else an exact comparison needs either a
+// tolerance or a per-line //lint:ignore with its justification.
+var floatcmpAllowFiles = map[string]bool{
+	"internal/mat/mul.go":     true, // zero-skip fast paths in the 4-wide unrolled kernels
+	"internal/mat/maskmul.go": true, // observed-cell zero-weight skips in the fused kernels
+}
+
+var checkFloatCmp = Check{
+	Name: "floatcmp",
+	Doc:  "no ==/!= on float operands outside tests and the epsilon-allowlist; compare with a tolerance",
+	run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		file := filepath.ToSlash(pass.Fset().Position(f.Pos()).Filename)
+		if floatcmpAllowed(file) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info.TypeOf(bin.X)) || !isFloat(info.TypeOf(bin.Y)) {
+				return true
+			}
+			// Both sides compile-time constants: no runtime hazard.
+			if info.Types[bin.X].Value != nil && info.Types[bin.Y].Value != nil {
+				return true
+			}
+			// x != x / x == x on the same identifier is the NaN probe idiom.
+			if xi, ok := bin.X.(*ast.Ident); ok {
+				if yi, ok := bin.Y.(*ast.Ident); ok && xi.Name == yi.Name {
+					return true
+				}
+			}
+			pass.Reportf(bin, "compare with an epsilon (math.Abs(a-b) <= tol), or //lint:ignore floatcmp <reason> if the exact comparison is intended",
+				"%s on float operands", bin.Op)
+			return true
+		})
+	}
+}
+
+func floatcmpAllowed(file string) bool {
+	for allowed := range floatcmpAllowFiles {
+		if strings.HasSuffix(file, "/"+allowed) || file == allowed {
+			return true
+		}
+	}
+	return false
+}

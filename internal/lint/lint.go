@@ -1,0 +1,292 @@
+// Package lint implements smflvet, a project-specific static-analysis pass
+// that enforces the codebase's determinism, concurrency, and cancellation
+// invariants. The conventions it guards — kernels use the shared worker pool,
+// fit paths never read the wall clock or the global rand source, reductions
+// never accumulate over map iteration order, long loops observe their
+// context, floats are never compared with == — are exactly the ones
+// `go vet` and `-race` cannot see, and a single slip silently breaks
+// checkpoint-resume bit-identity.
+//
+// The driver loads every non-test package in the module with full type
+// information (go/parser + go/types, standard library only) and runs each
+// enabled check, reporting file:line diagnostics with a one-line fix hint.
+// Deliberate exceptions are documented in-code with a per-line
+//
+//	//lint:ignore <check> <reason>
+//
+// comment, placed either at the end of the offending line or on the line
+// directly above it. A suppression without a reason is itself a diagnostic,
+// so every exception in the tree carries its justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: the check that fired, where, what convention is
+// violated, and a one-line hint for the conventional fix.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	Fix     string `json:"fix"`
+}
+
+// String renders the go-tool-style "file:line:col: message" form consumed by
+// editors, with the check name and fix hint appended.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s; fix: %s", d.File, d.Line, d.Col, d.Check, d.Message, d.Fix)
+}
+
+func (d Diagnostic) less(e Diagnostic) bool {
+	if d.File != e.File {
+		return d.File < e.File
+	}
+	if d.Line != e.Line {
+		return d.Line < e.Line
+	}
+	if d.Col != e.Col {
+		return d.Col < e.Col
+	}
+	return d.Check < e.Check
+}
+
+// Check is one named invariant. Each check is a self-contained file in this
+// package with a golden fixture test.
+type Check struct {
+	Name string // short name used in -checks and //lint:ignore
+	Doc  string // one-line statement of the invariant the check guards
+	run  func(*Pass)
+}
+
+// Checks returns the full suite in stable order.
+func Checks() []Check {
+	return []Check{
+		checkNoGoroutine,
+		checkNoClock,
+		checkNoGlobalRand,
+		checkMapRangeAccum,
+		checkCtxPoll,
+		checkFloatCmp,
+	}
+}
+
+// CheckNames returns the names of the full suite, for usage text.
+func CheckNames() []string {
+	cs := Checks()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Pass hands one package to one check and collects its reports.
+type Pass struct {
+	Pkg   *Package
+	check Check
+	out   *[]Diagnostic
+}
+
+// Fset returns the shared file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records a diagnostic at n's position. The fix hint is the check's
+// conventional remedy; msg names the concrete violation.
+func (p *Pass) Reportf(n ast.Node, fix, format string, args ...any) {
+	pos := p.Pkg.Fset.Position(n.Pos())
+	*p.out = append(*p.out, Diagnostic{
+		Check:   p.check.Name,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+	})
+}
+
+// SelectChecks resolves a comma-separated -checks value ("" = all) against
+// the suite, erroring on unknown names so typos fail loudly in CI.
+func SelectChecks(names string) ([]Check, error) {
+	all := Checks()
+	if strings.TrimSpace(names) == "" {
+		return all, nil
+	}
+	byName := make(map[string]Check, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var sel []Check
+	for _, raw := range strings.Split(names, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(CheckNames(), ", "))
+		}
+		sel = append(sel, c)
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("-checks selected nothing (known: %s)", strings.Join(CheckNames(), ", "))
+	}
+	return sel, nil
+}
+
+// Run executes the selected checks over pkgs, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by position —
+// the analyzer holds itself to the determinism bar it enforces. When the
+// full suite runs, a suppression that no finding needed is itself reported
+// (unusedsuppress), so stale annotations cannot outlive the code they
+// excused; partial -checks runs skip that so a floatcmp-only run does not
+// condemn every noclock annotation.
+func Run(pkgs []*Package, checks []Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			c.run(&Pass{Pkg: pkg, check: c, out: &diags})
+		}
+	}
+	sup, bad := collectSuppressions(pkgs)
+	diags, used := applySuppressions(diags, sup)
+	diags = append(diags, bad...)
+	if len(checks) == len(Checks()) {
+		for key, s := range sup {
+			if used[key] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Check: "unusedsuppress", File: key.file, Line: key.line, Col: s.col,
+				Message: "//lint:ignore suppresses nothing on this or the next line",
+				Fix:     "delete the stale suppression (or move it onto the offending line)",
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].less(diags[j]) })
+	// Nested constructs can report the same site twice (e.g. a map range
+	// inside a map range): keep one copy per position+check.
+	dedup := diags[:0]
+	for _, d := range diags {
+		if n := len(dedup); n > 0 {
+			prev := dedup[n-1]
+			if prev.File == d.File && prev.Line == d.Line && prev.Col == d.Col && prev.Check == d.Check {
+				continue
+			}
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	checks map[string]bool // named checks the line opts out of
+	col    int             // comment column, for unusedsuppress reports
+}
+
+// suppressionKey addresses a physical source line.
+type suppressionKey struct {
+	file string
+	line int
+}
+
+// collectSuppressions scans every file's comments for //lint:ignore
+// directives. Malformed directives (missing check name, unknown check, or no
+// reason) come back as badsuppress diagnostics: an undocumented exception is
+// itself a violation.
+func collectSuppressions(pkgs []*Package) (map[suppressionKey]suppression, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	sup := make(map[suppressionKey]suppression)
+	var bad []Diagnostic
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{
+			Check: "badsuppress", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: msg,
+			Fix:     "write //lint:ignore <check> <reason> with a known check name and a non-empty reason",
+		})
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						report(pos, "malformed //lint:ignore: need a check name and a reason")
+						continue
+					}
+					names := strings.Split(fields[0], ",")
+					checks := make(map[string]bool, len(names))
+					okNames := true
+					for _, name := range names {
+						if !known[name] {
+							report(pos, fmt.Sprintf("//lint:ignore names unknown check %q", name))
+							okNames = false
+							break
+						}
+						checks[name] = true
+					}
+					if !okNames {
+						continue
+					}
+					key := suppressionKey{file: pos.Filename, line: pos.Line}
+					if prev, dup := sup[key]; dup {
+						for name := range prev.checks {
+							checks[name] = true
+						}
+					}
+					sup[key] = suppression{checks: checks, col: pos.Column}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// applySuppressions drops diagnostics covered by an ignore directive on the
+// same line or on the line directly above, and reports which directives did
+// real work.
+func applySuppressions(diags []Diagnostic, sup map[suppressionKey]suppression) ([]Diagnostic, map[suppressionKey]bool) {
+	used := make(map[suppressionKey]bool, len(sup))
+	if len(sup) == 0 {
+		return diags, used
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if key := (suppressionKey{d.File, d.Line}); sup[key].checks[d.Check] {
+			used[key] = true
+			continue
+		}
+		if key := (suppressionKey{d.File, d.Line - 1}); sup[key].checks[d.Check] {
+			used[key] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, used
+}
+
+// pathIn reports whether importPath is one of the module-relative package
+// suffixes in set (e.g. "internal/mat").
+func pathIn(importPath string, set []string) bool {
+	for _, s := range set {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

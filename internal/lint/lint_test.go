@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one testdata directory as a package
+// with the given (fake) import path, so checks that scope by package path
+// can be exercised both inside and outside their target packages.
+func loadFixture(t *testing.T, dir, path string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir %s: %v", dir, err)
+	}
+	var files []*ast.File
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse fixture %s/%s: %v", dir, name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{Importer: newChainImporter(fset), FakeImportC: true}
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// key renders a diagnostic as "file:line:check" for golden comparison.
+func key(file string, line int, check string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, check)
+}
+
+func TestChecksGolden(t *testing.T) {
+	const mod = "github.com/spatialmf/smfl"
+	type want struct {
+		file  string
+		line  int
+		check string
+	}
+	cases := []struct {
+		name   string
+		dir    string // under testdata/src
+		path   string // fake import path the fixture is loaded as
+		checks string // SelectChecks argument; "" = full suite
+		wants  []want
+	}{
+		{
+			name: "nogoroutine/kernel", dir: "nogoroutine", path: mod + "/internal/mat", checks: "nogoroutine",
+			wants: []want{
+				{"kernel.go", 10, "nogoroutine"},
+				{"kernel.go", 14, "nogoroutine"},
+				// pool.go is allowlisted: its go statement reports nothing.
+			},
+		},
+		{
+			name: "nogoroutine/outside-kernel", dir: "nogoroutine", path: mod + "/internal/serve", checks: "nogoroutine",
+			wants: nil,
+		},
+		{
+			name: "noclock/fit-path", dir: "noclock", path: mod + "/internal/core", checks: "noclock",
+			wants: []want{
+				{"clock.go", 9, "noclock"},
+				{"clock.go", 10, "noclock"},
+				{"clock.go", 11, "noclock"},
+			},
+		},
+		{
+			name: "noclock/serving-tier", dir: "noclock", path: mod + "/internal/serve", checks: "noclock",
+			wants: nil,
+		},
+		{
+			name: "noglobalrand", dir: "noglobalrand", path: mod + "/internal/dataset", checks: "noglobalrand",
+			wants: []want{
+				{"grand.go", 8, "noglobalrand"},
+				{"grand.go", 9, "noglobalrand"},
+			},
+		},
+		{
+			name: "maprange-accum", dir: "maprange", path: mod + "/internal/serve", checks: "maprange-accum",
+			wants: []want{
+				{"accum.go", 11, "maprange-accum"},
+				{"accum.go", 20, "maprange-accum"},
+				{"accum.go", 30, "maprange-accum"},
+			},
+		},
+		{
+			name: "ctxpoll/core", dir: "ctxpoll", path: mod + "/internal/core", checks: "ctxpoll",
+			wants: []want{
+				{"poll.go", 10, "ctxpoll"},
+				{"poll.go", 54, "ctxpoll"},
+			},
+		},
+		{
+			name: "ctxpoll/outside-core", dir: "ctxpoll", path: mod + "/internal/serve", checks: "ctxpoll",
+			wants: nil,
+		},
+		{
+			name: "floatcmp", dir: "floatcmp", path: mod + "/internal/impute", checks: "floatcmp",
+			wants: []want{
+				{"cmp.go", 8, "floatcmp"},
+				{"cmp.go", 14, "floatcmp"},
+				{"cmp.go", 19, "floatcmp"},
+			},
+		},
+		{
+			name: "floatcmp/epsilon-allowlist", dir: "floatcmpallow/internal/mat", path: mod + "/internal/mat", checks: "floatcmp",
+			wants: nil,
+		},
+		{
+			// Full suite so unusedsuppress fires: suppression machinery test.
+			name: "suppress", dir: "suppress", path: mod + "/internal/impute", checks: "",
+			wants: []want{
+				{"suppress.go", 18, "unusedsuppress"},
+				{"suppress.go", 19, "floatcmp"},
+				{"suppress.go", 25, "unusedsuppress"},
+				{"suppress.go", 27, "floatcmp"},
+				{"suppress.go", 32, "floatcmp"},
+				{"suppress.go", 34, "badsuppress"},
+				{"suppress.go", 40, "badsuppress"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadFixture(t, filepath.Join("testdata", "src", tc.dir), tc.path)
+			checks, err := SelectChecks(tc.checks)
+			if err != nil {
+				t.Fatalf("SelectChecks(%q): %v", tc.checks, err)
+			}
+			diags := Run([]*Package{pkg}, checks)
+			if again := Run([]*Package{pkg}, checks); !reflect.DeepEqual(diags, again) {
+				t.Errorf("Run is not deterministic:\n first: %v\nsecond: %v", diags, again)
+			}
+			var got []string
+			for _, d := range diags {
+				got = append(got, key(filepath.Base(d.File), d.Line, d.Check))
+				if d.Message == "" || d.Fix == "" {
+					t.Errorf("diagnostic %s has empty message or fix hint: %+v", got[len(got)-1], d)
+				}
+				if d.Col <= 0 {
+					t.Errorf("diagnostic %s has no column: %+v", got[len(got)-1], d)
+				}
+			}
+			var wants []string
+			for _, w := range tc.wants {
+				wants = append(wants, key(w.file, w.line, w.check))
+			}
+			sort.Strings(got)
+			sort.Strings(wants)
+			if !reflect.DeepEqual(got, wants) {
+				t.Errorf("diagnostics mismatch\n got: %v\nwant: %v", got, wants)
+			}
+		})
+	}
+}
+
+func TestSelectChecks(t *testing.T) {
+	all, err := SelectChecks("")
+	if err != nil || len(all) != len(Checks()) {
+		t.Fatalf("SelectChecks(\"\") = %d checks, err %v; want full suite of %d", len(all), err, len(Checks()))
+	}
+	two, err := SelectChecks("floatcmp, noclock")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("SelectChecks(floatcmp,noclock) = %v checks, err %v", len(two), err)
+	}
+	if _, err := SelectChecks("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("SelectChecks(nope) err = %v; want unknown-check error naming it", err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Check: "noclock", File: "a/b.go", Line: 7, Col: 3, Message: "time.Now in fit path", Fix: "move timing out"}
+	got := d.String()
+	want := "a/b.go:7:3: [noclock] time.Now in fit path; fix: move timing out"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestRepoClean is the self-test: the analyzer over its own module must
+// report nothing, which is exactly what CI enforces between vet and build.
+// A violation introduced anywhere in the tree fails this test with the
+// offending file:line in the error.
+func TestRepoClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load(%s) found only %d packages; loader is missing the tree", root, len(pkgs))
+	}
+	diags := Run(pkgs, Checks())
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}

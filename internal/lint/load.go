@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked, non-test package of the module.
+type Package struct {
+	Path  string // import path, e.g. github.com/spatialmf/smfl/internal/mat
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ModuleRoot walks upward from dir to the nearest go.mod, the tree smflvet
+// loads. It errors rather than guessing when no module is found.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("smflvet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mod := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(mod); err == nil {
+				mod = unq
+			}
+			if mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("smflvet: no module line in %s/go.mod", root)
+}
+
+// rawPkg is a parsed-but-not-yet-type-checked package directory.
+type rawPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports map[string]bool // intra-module imports only
+}
+
+// Load walks the module rooted at root, parses every non-test .go file, and
+// type-checks the packages in dependency order. Standard-library imports
+// resolve through the compiler's export data with a from-source fallback, so
+// the loader needs nothing outside the standard library.
+func Load(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	raw := make(map[string]*rawPkg)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("smflvet: parse %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		importPath := mod
+		if rel != "." {
+			importPath = mod + "/" + filepath.ToSlash(rel)
+		}
+		rp := raw[importPath]
+		if rp == nil {
+			rp = &rawPkg{path: importPath, dir: dir, imports: make(map[string]bool)}
+			raw[importPath] = rp
+		}
+		rp.files = append(rp.files, file)
+		for _, imp := range file.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == mod || strings.HasPrefix(ip, mod+"/") {
+				rp.imports[ip] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := topoSort(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newChainImporter(fset)
+	var pkgs []*Package
+	for _, rp := range order {
+		// Parse order follows WalkDir (lexical), so files and positions are
+		// already deterministic; sort defensively anyway.
+		sort.Slice(rp.files, func(i, j int) bool {
+			return fset.Position(rp.files[i].Pos()).Filename < fset.Position(rp.files[j].Pos()).Filename
+		})
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		cfg := types.Config{Importer: imp, FakeImportC: true}
+		tpkg, err := cfg.Check(rp.path, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("smflvet: typecheck %s: %w", rp.path, err)
+		}
+		imp.local[rp.path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path: rp.path, Dir: rp.dir, Fset: fset,
+			Files: rp.files, Types: tpkg, Info: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages so every intra-module dependency type-checks
+// before its importers, detecting cycles explicitly.
+func topoSort(raw map[string]*rawPkg) ([]*rawPkg, error) {
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(raw))
+	var order []*rawPkg
+	var visit func(path string, chain []string) error
+	visit = func(path string, chain []string) error {
+		rp, ok := raw[path]
+		if !ok {
+			return nil // import of a module path with no non-test sources
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("smflvet: import cycle: %s -> %s", strings.Join(chain, " -> "), path)
+		}
+		state[path] = visiting
+		deps := make([]string, 0, len(rp.imports))
+		for dep := range rp.imports {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep, append(chain, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, rp)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves intra-module imports from the packages this run has
+// already type-checked, and everything else (the standard library) through
+// the gc export-data importer, falling back to type-checking from GOROOT
+// source when export data is unavailable.
+type chainImporter struct {
+	local map[string]*types.Package
+	gc    types.Importer
+	src   types.Importer
+	cache map[string]*types.Package
+}
+
+func newChainImporter(fset *token.FileSet) *chainImporter {
+	return &chainImporter{
+		local: make(map[string]*types.Package),
+		gc:    importer.ForCompiler(fset, "gc", nil),
+		src:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.local[path]; ok {
+		return p, nil
+	}
+	if p, ok := ci.cache[path]; ok {
+		return p, nil
+	}
+	p, gcErr := ci.gc.Import(path)
+	if gcErr != nil {
+		var srcErr error
+		p, srcErr = ci.src.Import(path)
+		if srcErr != nil {
+			return nil, fmt.Errorf("import %q: %v (source fallback: %v)", path, gcErr, srcErr)
+		}
+	}
+	ci.cache[path] = p
+	return p, nil
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maprange-accum guards the chunk-ordered-reduction invariant at its most
+// common leak: `for k, v := range m` visits a map in a different order every
+// run, so accumulating floats (non-associative addition) or building a
+// later-reduced slice inside such a loop yields run-to-run different bits.
+// The conventional fix is to collect keys, sort, and iterate the slice.
+var checkMapRangeAccum = Check{
+	Name: "maprange-accum",
+	Doc:  "no float accumulation or float-slice building inside range-over-map loops (iteration order is nondeterministic)",
+	run:  runMapRangeAccum,
+}
+
+func runMapRangeAccum(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			reportAccumulations(pass, rng)
+			return true
+		})
+	}
+}
+
+// reportAccumulations flags order-sensitive writes inside the body of a
+// range-over-map statement: float compound assignments or x = x + ... folds
+// into variables declared outside the loop, and appends of float-typed
+// values to outer slices (the slice is presumed reduced later; collecting
+// non-float keys to sort is the fix pattern and stays legal).
+func reportAccumulations(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	const fix = "collect the keys, sort them, and iterate the sorted slice so the reduction order is fixed"
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloat(info.TypeOf(lhs)) && declaredOutside(info, lhs, rng, rng) {
+					pass.Reportf(as, fix, "float accumulation over map iteration order")
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				rhs := as.Rhs[i]
+				if call, ok := rhs.(*ast.CallExpr); ok && isAppendCall(info, call) && len(call.Args) > 0 {
+					t := info.TypeOf(call.Args[0])
+					if sl, ok := typeUnderlying(t).(*types.Slice); ok &&
+						isFloat(sl.Elem()) && declaredOutside(info, call.Args[0], rng, rng) {
+						pass.Reportf(as, fix, "append of floats to an outer slice over map iteration order")
+					}
+					continue
+				}
+				// x = x + v style folds into an outer float.
+				if as.Tok == token.ASSIGN && isFloat(info.TypeOf(lhs)) && declaredOutside(info, lhs, rng, rng) {
+					if id := baseIdent(lhs); id != nil {
+						obj := info.Uses[id]
+						if obj == nil {
+							obj = info.Defs[id]
+						}
+						if usesObject(info, rhs, obj) {
+							pass.Reportf(as, fix, "float accumulation over map iteration order")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func typeUnderlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,45 @@
+package lint
+
+import "go/ast"
+
+// globalRandFuncs are the math/rand (and v2) package-level functions backed
+// by the shared global source. Constructors (New, NewSource, NewPCG, ...)
+// are fine — the ban is on drawing from unseeded process-global state, which
+// makes runs irreproducible and fights the Seed-threaded *rand.Rand
+// convention every fit and sampler in this repo follows.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true,
+}
+
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+var checkNoGlobalRand = Check{
+	Name: "noglobalrand",
+	Doc:  "no package-level math/rand calls (global unseeded source); thread a seeded *rand.Rand",
+	run:  runNoGlobalRand,
+}
+
+func runNoGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := pkgCall(pass.Pkg.Info, call); ok && randPackages[pkg] && globalRandFuncs[name] {
+				pass.Reportf(call, "thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) from Config.Seed",
+					"%s.%s draws from the global unseeded rand source", pkg, name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// kernelPackages are the compute-kernel packages where raw goroutine spawns
+// are banned: concurrency there must go through the shared worker pool
+// (internal/mat/pool.go) so parallel reductions stay chunk-ordered and
+// deterministic, and nested parallel calls cannot deadlock.
+var kernelPackages = []string{
+	"internal/mat",
+	"internal/core",
+	"internal/landmark",
+	"internal/linalg",
+	"internal/spatial",
+}
+
+// nogoroutineAllowFiles are file basenames inside kernel packages that may
+// legitimately contain go statements — the worker pool implementation itself.
+var nogoroutineAllowFiles = map[string]bool{
+	"pool.go": true,
+}
+
+var checkNoGoroutine = Check{
+	Name: "nogoroutine",
+	Doc:  "kernel packages (mat, core, landmark, linalg, spatial) must use the worker pool, never raw go statements",
+	run:  runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) {
+	if !pathIn(pass.Pkg.Path, kernelPackages) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		file := pass.Fset().Position(f.Pos()).Filename
+		if nogoroutineAllowFiles[filepath.Base(file)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g, "dispatch through mat.ParallelRange/ParallelChunks so chunk-ordered deterministic reduction and nested-call deadlock avoidance apply",
+					"go statement in kernel package %s", pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

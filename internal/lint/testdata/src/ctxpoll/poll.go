@@ -1,0 +1,72 @@
+// Fixture for the ctxpoll check: exported core entry points must observe
+// their context in top-level loops.
+package core
+
+import "context"
+
+// FitBlind loops without ever consulting ctx: finding at the loop.
+func FitBlind(ctx context.Context, iters int) int {
+	n := 0
+	for i := 0; i < iters; i++ { // line 10: finding
+		n += i
+	}
+	return n
+}
+
+// FitPolled checks ctx.Err() each iteration: clean.
+func FitPolled(ctx context.Context, iters int) error {
+	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FitSelect waits on ctx.Done(): clean.
+func FitSelect(ctx context.Context, work <-chan int) int {
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return n
+		case v := <-work:
+			n += v
+		}
+	}
+}
+
+// FitDelegated threads ctx into a cancellable callee: clean — cancellation
+// is the callee's job.
+func FitDelegated(ctx context.Context, iters int) error {
+	for i := 0; i < iters; i++ {
+		if err := step(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FitIgnored discards its context entirely; its loop can never stop early:
+// finding.
+func FitIgnored(_ context.Context, iters int) int {
+	n := 0
+	for i := 0; i < iters; i++ { // line 54: finding
+		n += i
+	}
+	return n
+}
+
+// NoLoops takes a ctx but has no top-level iteration to poll from: clean.
+func NoLoops(ctx context.Context) error { return ctx.Err() }
+
+// unexportedBlind is not part of the package API: clean.
+func unexportedBlind(ctx context.Context, iters int) int {
+	n := 0
+	for i := 0; i < iters; i++ {
+		n += i
+	}
+	return n
+}
+
+func step(ctx context.Context, _ int) error { return ctx.Err() }

@@ -1,0 +1,41 @@
+// Fixture for the floatcmp check: exact equality on floats.
+package numeric
+
+import "math"
+
+// Converged compares two computed floats exactly: finding.
+func Converged(obj, prev float64) bool {
+	return obj == prev // line 8: finding
+}
+
+// IsZero compares against a literal zero — still exact float equality, still
+// a finding (guards that mean it get a //lint:ignore in real code).
+func IsZero(x float64) bool {
+	return x != 0 // line 14: finding
+}
+
+// Narrow compares float32s: finding.
+func Narrow(a, b float32) bool {
+	return a == b // line 19: finding
+}
+
+// WithinTol is the conventional fix: clean.
+func WithinTol(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// IsNaN is the self-comparison NaN probe idiom: clean.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Ints compares integers: clean, not a float comparison.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// ConstFold compares two compile-time constants: clean, no runtime hazard.
+func ConstFold() bool {
+	const a, b = 0.1, 0.2
+	return a+a == b
+}

@@ -1,0 +1,13 @@
+// Fixture for the floatcmp epsilon-allowlist: this file's module-relative
+// path matches an allowlist entry (internal/mat/mul.go), so its exact-zero
+// sparsity skips report nothing.
+package mat
+
+func AddScaledNonzero(dst, src []float64, a float64) {
+	for i, v := range src {
+		if v == 0 { // allowlisted file: no finding
+			continue
+		}
+		dst[i] += a * v
+	}
+}

@@ -1,0 +1,72 @@
+// Fixture for the maprange-accum check: order-sensitive reductions over map
+// iteration.
+package reduce
+
+import "sort"
+
+// SumDirect folds floats in map order: finding.
+func SumDirect(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // line 11: finding (compound assign to outer float)
+	}
+	return sum
+}
+
+// SumRebind folds with x = x + v: finding.
+func SumRebind(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // line 20: finding (self-referential assign)
+	}
+	return sum
+}
+
+// CollectValues builds a float slice in map order for a later reduction:
+// finding.
+func CollectValues(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // line 30: finding (float append to outer slice)
+	}
+	return vals
+}
+
+// SortedKeys is the conventional fix and is clean: collecting non-float keys
+// to sort pins the reduction order.
+func SortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// SliceAccum ranges a slice, not a map: clean.
+func SliceAccum(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// LoopLocal accumulates into a variable scoped inside the loop: clean.
+func LoopLocal(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		if local > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+// Fixture for the noclock check: wall-clock reads in a fit-path package.
+package core
+
+import "time"
+
+// Timed reads and waits on the wall clock — three findings under a fit-path
+// package path, none elsewhere.
+func Timed() time.Duration {
+	start := time.Now()          // line 9: finding
+	time.Sleep(time.Millisecond) // line 10: finding
+	return time.Since(start)     // line 11: finding
+}
+
+// Clean uses time only for types and constant arithmetic, which is fine:
+// durations are data, reading the clock is the violation.
+func Clean(d time.Duration) time.Duration {
+	return d + 2*time.Second
+}

@@ -1,0 +1,17 @@
+// Fixture for the noglobalrand check: global-source draws vs a seeded Rand.
+package sampler
+
+import "math/rand"
+
+// Global draws from the process-global unseeded source: two findings.
+func Global(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // line 8: finding
+	return rand.Intn(n)                // line 9: finding
+}
+
+// Seeded threads a deterministic source; constructors New/NewSource are
+// legal, and method calls on the seeded Rand are the convention.
+func Seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -1,0 +1,28 @@
+// Fixture for the nogoroutine check: raw go statements in a kernel package.
+package mat
+
+func parallelRange(n int, fn func(lo, hi int)) { fn(0, n) }
+
+// Spawn launches raw goroutines — both must be flagged when this fixture is
+// loaded under a kernel package path, and neither when loaded elsewhere.
+func Spawn(n int) {
+	done := make(chan struct{})
+	go func() { // line 10: finding
+		close(done)
+	}()
+	for i := 0; i < n; i++ {
+		go work(i) // line 14: finding (nested spawns count too)
+	}
+	<-done
+}
+
+// Pooled uses the worker-pool shape and is clean.
+func Pooled(n int) {
+	parallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			work(i)
+		}
+	})
+}
+
+func work(int) {}

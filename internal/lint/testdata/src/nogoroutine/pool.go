@@ -1,0 +1,9 @@
+// pool.go is the allowlisted worker-pool implementation file: go statements
+// here are the one sanctioned spawn site in kernel packages.
+package mat
+
+func startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) // allowlisted file: no finding
+	}
+}

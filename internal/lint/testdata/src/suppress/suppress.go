@@ -1,0 +1,41 @@
+// Fixture for //lint:ignore handling: same-line and above-line suppressions,
+// malformed directives, and stale directives.
+package suppress
+
+// SameLine suppresses a floatcmp finding on the offending line: clean.
+func SameLine(a, b float64) bool {
+	return a == b //lint:ignore floatcmp fixture exercises same-line suppression
+}
+
+// AboveLine suppresses from the line directly above: clean.
+func AboveLine(a, b float64) bool {
+	//lint:ignore floatcmp fixture exercises above-line suppression
+	return a == b
+}
+
+// WrongCheck names a different check, so the floatcmp finding survives.
+func WrongCheck(a, b float64) bool {
+	//lint:ignore noclock reason that does not cover floatcmp
+	return a == b // line 19: floatcmp finding (and line 18 is unusedsuppress)
+}
+
+// TooFar is two lines above the violation: the finding survives and the
+// directive is stale.
+func TooFar(a, b float64) bool {
+	//lint:ignore floatcmp too far away to apply
+
+	return a == b // line 27: floatcmp finding (and line 25 is unusedsuppress)
+}
+
+// reasonless is malformed — no reason documents the exception: badsuppress.
+func reasonless(a, b float64) bool {
+	x := a == b // line 32: floatcmp finding survives the malformed directive
+	_ = x
+	//lint:ignore floatcmp
+	return false
+}
+
+// unknownCheck names a check that does not exist: badsuppress.
+func unknownCheck() {
+	//lint:ignore nosuchcheck the name above is a typo
+}

@@ -34,7 +34,7 @@ func FiniteAll(ms ...*Dense) bool {
 			for i := s; i < e; i++ {
 				// v-v is 0 for finite values and NaN for NaN and ±Inf,
 				// folding both tests into one floating-point op.
-				if v := m.data[i]; v-v != 0 {
+				if v := m.data[i]; v-v != 0 { //lint:ignore floatcmp v-v is NaN exactly when v is non-finite; the probe is the point
 					bad.Store(true)
 					return
 				}

@@ -220,7 +220,7 @@ func BCE(pred, target, weight *mat.Dense) (float64, *mat.Dense) {
 			if weight != nil {
 				w = weight.At(i, j)
 			}
-			if w == 0 {
+			if w == 0 { //lint:ignore floatcmp exact-zero weight skip
 				continue
 			}
 			p := math.Min(math.Max(pi[j], eps), 1-eps)

@@ -55,7 +55,7 @@ func (s *StatRepair) Repair(x *mat.Dense, dirty *mat.Mask, _ int) (*mat.Dense, e
 		if math.IsInf(lo[j], 1) { // whole column dirty: fall back to raw range
 			lo[j], hi[j] = mat.Min(x.Slice(0, n, j, j+1)), mat.Max(x.Slice(0, n, j, j+1))
 		}
-		if hi[j] == lo[j] {
+		if hi[j] == lo[j] { //lint:ignore floatcmp degenerate constant-column guard
 			hi[j] = lo[j] + 1
 		}
 	}

@@ -212,7 +212,7 @@ func (a *Admission) adaptLocked(now time.Time) {
 		return
 	}
 	rate := float64(a.released) / elapsed.Seconds()
-	if a.costRate == 0 {
+	if a.costRate == 0 { //lint:ignore floatcmp first sample initializes the EWMA
 		a.costRate = rate
 	} else {
 		a.costRate = 0.3*rate + 0.7*a.costRate

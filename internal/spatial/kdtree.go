@@ -146,7 +146,7 @@ func (t *KDTree) KNNInto(s *KNNScratch, q []float64, k, exclude int) []int {
 	for i := 1; i < len(h); i++ {
 		x := h[i]
 		j := i - 1
-		for j >= 0 && (h[j].dist2 > x.dist2 || (h[j].dist2 == x.dist2 && h[j].idx > x.idx)) {
+		for j >= 0 && (h[j].dist2 > x.dist2 || (h[j].dist2 == x.dist2 && h[j].idx > x.idx)) { //lint:ignore floatcmp deterministic tie-break needs exact equality
 			h[j+1] = h[j]
 			j--
 		}
@@ -223,7 +223,7 @@ func bruteKNN(pts [][]float64, q []float64, k, exclude int) []int {
 		cands = append(cands, cand{dist2(q, p), i})
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d2 != cands[b].d2 {
+		if cands[a].d2 != cands[b].d2 { //lint:ignore floatcmp deterministic tie-break needs exact equality
 			return cands[a].d2 < cands[b].d2
 		}
 		return cands[a].idx < cands[b].idx

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/store"
 )
 
 func TestRunSingleDatasetWithLabels(t *testing.T) {
@@ -59,5 +60,39 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-name", "Mars", "-out", "x.csv"}, &stderr); err == nil {
 		t.Fatal("expected unknown-dataset error")
+	}
+}
+
+// TestRunShardOutput drives the -shard path: the generated store must open,
+// carry normalization stats and column names, and hold roughly the requested
+// missing rate.
+func TestRunShardOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lake.smfs")
+	var stderr bytes.Buffer
+	if err := run([]string{"-name", "Lake", "-scale", "0.002", "-shard", dir,
+		"-missing", "0.3", "-shard-rows", "32"}, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "shard store") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+	st, err := store.Open(dir, store.Config{})
+	if err != nil {
+		t.Fatalf("generated store does not open: %v", err)
+	}
+	defer st.Close()
+	n, m := st.Dims()
+	if n < 100 || m != 7 {
+		t.Fatalf("shape %dx%d", n, m)
+	}
+	if _, _, ok := st.Norm(); !ok {
+		t.Fatal("store carries no normalization stats")
+	}
+	if cols := st.Columns(); len(cols) != m {
+		t.Fatalf("store has %d column names for %d columns", len(cols), m)
+	}
+	rate := 1 - float64(st.NumObserved())/float64(n*m)
+	if rate < 0.2 || rate > 0.4 {
+		t.Fatalf("missing rate %.2f, want ~0.3", rate)
 	}
 }

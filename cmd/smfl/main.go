@@ -7,6 +7,8 @@
 //	smfl repair  -in data.csv -out repaired.csv [-l 2] [-threshold 6] ...
 //	smfl cluster -in data.csv [-l 2] [-k 5]
 //	smfl foldin  -model m.smfl -in new.csv -out filled.csv [-foldin-tol 1e-8]
+//	smfl convert -in data.csv -out data.smfs [-l 2] [-shard-rows 4096]
+//	smfl impute  -store mmap -in data.smfs -out filled.csv [-mem-budget 256MiB] ...
 //
 // For impute, empty CSV cells mark the missing values. For repair, dirty
 // cells are found with the spatial-outlier detector. The table is min-max
@@ -21,11 +23,19 @@
 // svrg iterates mini-batches of about -batch-cells observed cells per step,
 // capped at -epochs passes over the observed set; checkpoints and -resume
 // keep their bit-identical guarantee.
+//
+// Tables larger than RAM train out of core: convert lays the normalized
+// table out as an on-disk shard store (internal/store), and impute with
+// -store mmap streams rows from it through a memory-mapped shard cache
+// bounded by -mem-budget, producing the bit-identical factors of the
+// in-memory fit. Checkpoints bind to the store's content hash, so -resume
+// keeps the same trajectory guarantee.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/csv"
 	"encoding/gob"
 	"errors"
 	"flag"
@@ -33,6 +43,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +53,7 @@ import (
 	"github.com/spatialmf/smfl/internal/kmeans"
 	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/repair"
+	"github.com/spatialmf/smfl/internal/store"
 )
 
 func main() {
@@ -89,6 +101,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	resume := fs.Bool("resume", false, "impute: continue the fit from -checkpoint instead of starting over")
 	foldinTol := fs.Float64("foldin-tol", 0, "foldin: per-row convergence tolerance (0 = model default)")
 	spatialIndex := fs.String("spatial-index", "exact", "p-NN graph backend: exact | landmark (sub-quadratic, recommended for large N)")
+	storeKind := fs.String("store", "dense", "impute: data backend: dense (in-memory CSV) | mmap (-in is a shard-store directory from smfl convert)")
+	memBudget := fs.String("mem-budget", "", "mmap store: resident shard-cache budget, e.g. 256MiB (default)")
+	shardRows := fs.Int("shard-rows", 0, "convert: rows per shard (0 = default 4096)")
 	verbose := fs.Bool("v", false, "report wall-clock fit time and iteration count")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -122,7 +137,45 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	switch cmd {
+	case "convert":
+		if *out == "" {
+			return errors.New("convert: -out store directory is required")
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		ds, mask, err := dataset.ReadCSVMasked(f, *in, *l)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		nz, err := dataset.FitNormalizer(ds.X, mask)
+		if err != nil {
+			return err
+		}
+		nz.Apply(ds.X)
+		if err := store.Write(*out, ds.X, mask, store.WriteOptions{
+			ShardRows: *shardRows, Mins: nz.Mins, Maxs: nz.Maxs, Columns: ds.Columns,
+		}); err != nil {
+			return err
+		}
+		n, m := ds.Dims()
+		fmt.Fprintf(stderr, "smfl: converted %dx%d table (%d observed cells) into %s\n",
+			n, m, mask.Count(), *out)
+
 	case "impute":
+		if *storeKind == "mmap" {
+			return imputeFromStore(ctx, storeImputeArgs{
+				dir: *in, out: *out, l: *l, method: method, cfg: cfg,
+				memBudget: *memBudget, resume: *resume, checkpoint: *checkpoint,
+				checkpointEvery: *checkpointEvery, maxIter: *maxIter,
+				saveModel: *saveModel, verbose: *verbose,
+			}, stdout, stderr)
+		}
+		if *storeKind != "dense" {
+			return fmt.Errorf("unknown -store backend %q (dense | mmap)", *storeKind)
+		}
 		f, err := os.Open(*in)
 		if err != nil {
 			return err
@@ -276,6 +329,136 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
 	}
+	return nil
+}
+
+// storeImputeArgs bundles the impute flags relevant to the mmap backend.
+type storeImputeArgs struct {
+	dir, out        string
+	l               int
+	method          core.Method
+	cfg             core.Config
+	memBudget       string
+	resume          bool
+	checkpoint      string
+	checkpointEvery int
+	maxIter         int
+	saveModel       string
+	verbose         bool
+}
+
+// imputeFromStore is the out-of-core impute path: it fits (or resumes)
+// directly over a shard store written by smfl convert and streams the
+// completed table to CSV row by row, so peak memory stays at the factors
+// plus the store's shard-cache budget — the full N×M table is never
+// materialized.
+func imputeFromStore(ctx context.Context, a storeImputeArgs, stdout, stderr io.Writer) error {
+	scfg := store.Config{}
+	if a.memBudget != "" {
+		b, err := store.ParseMemBudget(a.memBudget)
+		if err != nil {
+			return err
+		}
+		scfg.MemBudget = b
+	}
+	st, err := store.Open(a.dir, scfg)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	mins, maxs, ok := st.Norm()
+	if !ok {
+		return errors.New("store carries no normalization stats; re-run smfl convert")
+	}
+	nz, err := dataset.NewNormalizer(mins, maxs)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var model *core.Model
+	if a.resume {
+		model, err = core.ResumeFitSource(a.checkpoint, st, &core.ResumeOptions{
+			Ctx: ctx, MaxIter: a.maxIter, CheckpointEvery: a.checkpointEvery,
+		})
+	} else {
+		model, err = core.FitSource(st, a.l, a.method, a.cfg)
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrInterrupted) && a.checkpoint != "" {
+			return fmt.Errorf("%w; checkpoint saved, rerun with -resume to continue", err)
+		}
+		return err
+	}
+	if a.verbose {
+		fmt.Fprintf(stderr, "smfl: fit took %s (%d iterations)\n", time.Since(start).Round(time.Millisecond), model.Iters)
+	}
+
+	w := stdout
+	if a.out != "" {
+		f, err := os.Create(a.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, m := st.Dims()
+	names := st.Columns()
+	if names == nil {
+		names = make([]string, m)
+		for j := range names {
+			names[j] = "c" + strconv.Itoa(j)
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	// Stream one completed row at a time: prediction u_i·V, observed cells
+	// restored from the store, both mapped back to original units.
+	rd := st.Reader()
+	defer rd.Release()
+	k, _ := model.V.Dims()
+	vd := model.V.Data()
+	rowBuf := mat.NewDense(1, m)
+	pred := rowBuf.Row(0)
+	rec := make([]string, m)
+	hidden := 0
+	for i := 0; i < n; i++ {
+		ui := model.U.Row(i)
+		for j := 0; j < m; j++ {
+			s := 0.0
+			for r := 0; r < k; r++ {
+				s += ui[r] * vd[r*m+j]
+			}
+			pred[j] = s
+		}
+		xi, cols := rd.Row(i)
+		for _, j := range cols {
+			pred[j] = xi[j]
+		}
+		hidden += m - len(cols)
+		nz.Invert(rowBuf)
+		for j := 0; j < m; j++ {
+			rec[j] = strconv.FormatFloat(pred[j], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+
+	if a.saveModel != "" {
+		if err := saveArtifact(a.saveModel, model, nz); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "smfl: imputed %d cells in %d iterations (converged=%v)\n",
+		hidden, model.Iters, model.Converged)
 	return nil
 }
 

@@ -302,3 +302,72 @@ func TestImputeCheckpointAndResume(t *testing.T) {
 		t.Fatal("-resume without -checkpoint must fail")
 	}
 }
+
+// TestRunConvertAndStoreImpute drives the out-of-core path end to end:
+// convert lays the CSV out as a shard store, impute -store mmap fits from it
+// under a tiny memory budget, and the completed table must agree with the
+// dense impute of the same data — exactly on observed cells (both restore
+// the stored value), to float tolerance on imputed ones (the factors are
+// bit-identical; only the prediction x̂=U·V accumulates in a different
+// order between the streaming and the matrix-multiply writer).
+func TestRunConvertAndStoreImpute(t *testing.T) {
+	in := writeTempCSV(t, true)
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "data.smfs")
+	var stdout, stderr bytes.Buffer
+
+	err := run(context.Background(), []string{"convert", "-in", in, "-out", storeDir, "-shard-rows", "16"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("convert: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "converted 120x5 table") {
+		t.Fatalf("convert stderr = %q", stderr.String())
+	}
+
+	fitFlags := []string{"-k", "3", "-updater", "sgd", "-epochs", "25", "-tol", "1e-12", "-batch-cells", "64"}
+	denseOut := filepath.Join(dir, "dense.csv")
+	args := append([]string{"impute", "-in", in, "-out", denseOut}, fitFlags...)
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("dense impute: %v\n%s", err, stderr.String())
+	}
+
+	stderr.Reset()
+	mmapOut := filepath.Join(dir, "mmap.csv")
+	args = append([]string{"impute", "-store", "mmap", "-in", storeDir, "-out", mmapOut, "-mem-budget", "4KiB"}, fitFlags...)
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("store impute: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "imputed 3 cells") {
+		t.Fatalf("store impute stderr = %q", stderr.String())
+	}
+
+	dense, err := dataset.LoadCSV(denseOut, "dense", 2)
+	if err != nil {
+		t.Fatalf("dense output unreadable: %v", err)
+	}
+	mmap, err := dataset.LoadCSV(mmapOut, "mmap", 2)
+	if err != nil {
+		t.Fatalf("store output unreadable: %v", err)
+	}
+	dn, dm := dense.Dims()
+	if mn, mm := mmap.Dims(); mn != dn || mm != dm {
+		t.Fatalf("output shapes differ: %dx%d vs %dx%d", dn, dm, mn, mm)
+	}
+	for i := 0; i < dn; i++ {
+		for j := 0; j < dm; j++ {
+			a, b := dense.X.At(i, j), mmap.X.At(i, j)
+			if d := a - b; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("cell (%d,%d): dense %v vs store %v", i, j, a, b)
+			}
+		}
+	}
+
+	// An unknown backend is a usage error; a CSV handed to -store mmap is
+	// refused at open, not trained on.
+	if err := run(context.Background(), []string{"impute", "-store", "bogus", "-in", in}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown -store backend accepted")
+	}
+	if err := run(context.Background(), []string{"impute", "-store", "mmap", "-in", dir}, &stdout, &stderr); err == nil {
+		t.Fatal("-store mmap accepted a directory with no manifest")
+	}
+}

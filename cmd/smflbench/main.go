@@ -43,6 +43,7 @@ import (
 	"github.com/spatialmf/smfl/internal/landmark"
 	"github.com/spatialmf/smfl/internal/mat"
 	"github.com/spatialmf/smfl/internal/spatial"
+	"github.com/spatialmf/smfl/internal/store"
 )
 
 func main() {
@@ -67,6 +68,28 @@ type Report struct {
 	Results      []Result      `json:"results"`
 	GraphSweep   []GraphResult `json:"graph_sweep,omitempty"`
 	Stochastic   []StochResult `json:"stochastic,omitempty"`
+	Store        []StoreResult `json:"store,omitempty"`
+}
+
+// StoreResult is one row of the out-of-core storage sweep: the same SGD fit
+// over the in-memory dense matrix ("dense") and over the shard store
+// ("mmap") at several memory budgets, expressed as a fraction of the data
+// size on disk. The trajectories are bit-identical by construction (the
+// sweep verifies final objectives match), so the only deltas are ms/epoch —
+// the streaming overhead — and the store's residency counters.
+type StoreResult struct {
+	Rows           int     `json:"rows"`
+	Cols           int     `json:"cols"`
+	MissingRate    float64 `json:"missing_rate"`
+	Backend        string  `json:"backend"`
+	BudgetFraction float64 `json:"budget_fraction,omitempty"`
+	MemBudgetBytes int64   `json:"mem_budget_bytes,omitempty"`
+	Epochs         int     `json:"epochs"`
+	MsPerEpoch     float64 `json:"ms_per_epoch"`
+	PeakResident   int64   `json:"peak_resident_bytes,omitempty"`
+	Evictions      int64   `json:"evictions,omitempty"`
+	ShardMaps      int64   `json:"shard_maps,omitempty"`
+	FinalObjective float64 `json:"final_objective"`
 }
 
 // StochResult is one row of the stochastic-updater sweep: one updater ×
@@ -136,6 +159,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	stochLargeN := fs.Int("stoch-large-n", 1000000, "extra stochastic sweep row count when SMFL_LARGE=1")
 	stochBatches := fs.String("stoch-batches", "8192,32768", "batch sizes (observed cells) swept per stochastic updater")
 	stochEpochs := fs.Int("stoch-epochs", 60, "epoch cap per stochastic sweep fit")
+	storeSweep := fs.Bool("store", false, "run the out-of-core storage sweep (dense vs mmap shard store)")
+	storeN := fs.Int("store-n", 20000, "row count of the storage sweep's synthetic table")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -215,6 +240,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			rep.Stochastic = append(rep.Stochastic, rows...)
 		}
+	}
+
+	if *storeSweep {
+		rows, err := benchStore(*storeN, *k, *stochEpochs, *seed, stderr)
+		if err != nil {
+			return err
+		}
+		rep.Store = append(rep.Store, rows...)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -486,6 +519,102 @@ func benchStochastic(n int, batches []int, k, epochs int, seed int64, stderr io.
 				n, row.Updater, row.MsPerEpoch, bc, row.EpochsToTol, row.SpeedupVsGD)
 			rows = append(rows, row)
 		}
+	}
+	return rows, nil
+}
+
+// benchStore compares the SGD fit over the in-memory dense pair against the
+// same fit streamed from the shard store at a sweep of memory budgets
+// (fractions of the store's on-disk size). Final objectives must agree
+// bitwise — that is the storage backend's core contract — so a mismatch is
+// an error, not a data point.
+func benchStore(n, k, epochs int, seed int64, stderr io.Writer) ([]StoreResult, error) {
+	const cols, missing = 50, 0.9
+	res, err := dataset.Generate(dataset.Spec{
+		Name: "Synthetic", N: n, M: cols, L: 2,
+		Latents: 5, Bumps: 8, Clusters: 6, Noise: 0.2, Private: 0.3, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := res.Data.Normalize(); err != nil {
+		return nil, err
+	}
+	mask, err := dataset.InjectMissing(res.Data, dataset.MissingSpec{Rate: missing, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	x := res.Data.X
+
+	cfg := core.Config{
+		K: k, Lambda: 0.1, MaxIter: epochs, Tol: 1e-15, Seed: seed,
+		Updater: core.SGD, BatchCells: 32768, LearningRate: stochLR,
+	}
+
+	start := time.Now()
+	dense, err := core.Fit(x, mask, res.Data.L, core.NMF, cfg)
+	if err != nil {
+		return nil, err
+	}
+	denseWall := float64(time.Since(start).Microseconds()) / 1e3
+	denseObj := dense.Objective[len(dense.Objective)-1]
+	rows := []StoreResult{{
+		Rows: n, Cols: cols, MissingRate: missing, Backend: "dense",
+		Epochs: dense.Iters, MsPerEpoch: denseWall / float64(dense.Iters),
+		FinalObjective: denseObj,
+	}}
+	fmt.Fprintf(stderr, "smflbench: store N=%-8d dense %8.2f ms/epoch\n", n, rows[0].MsPerEpoch)
+
+	dir, err := os.MkdirTemp("", "smflbench-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := store.Write(dir, x, mask, store.WriteOptions{}); err != nil {
+		return nil, err
+	}
+	var diskBytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil {
+			diskBytes += fi.Size()
+		}
+	}
+
+	for _, frac := range []float64{1.0, 0.5, 0.25} {
+		budget := int64(frac * float64(diskBytes))
+		st, err := store.Open(dir, store.Config{MemBudget: budget})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		m, err := core.FitSource(st, res.Data.L, core.NMF, cfg)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		wall := float64(time.Since(start).Microseconds()) / 1e3
+		obj := m.Objective[len(m.Objective)-1]
+		//lint:ignore floatcmp the store sweep's whole point is bit-exact equality with the dense fit
+		if obj != denseObj {
+			st.Close()
+			return nil, fmt.Errorf("store sweep: mmap objective %v != dense %v at budget %d — bit-identity broken", obj, denseObj, budget)
+		}
+		stats := st.Stats()
+		st.Close()
+		row := StoreResult{
+			Rows: n, Cols: cols, MissingRate: missing, Backend: "mmap",
+			BudgetFraction: frac, MemBudgetBytes: budget,
+			Epochs: m.Iters, MsPerEpoch: wall / float64(m.Iters),
+			PeakResident: stats.PeakResident, Evictions: stats.Evictions, ShardMaps: stats.ShardMaps,
+			FinalObjective: obj,
+		}
+		fmt.Fprintf(stderr, "smflbench: store N=%-8d mmap  %8.2f ms/epoch at %.0f%% budget (peak %d, evictions %d)\n",
+			n, row.MsPerEpoch, frac*100, row.PeakResident, row.Evictions)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -202,24 +202,8 @@ func ResumeFit(path string, x *mat.Dense, omega *mat.Mask, opts *ResumeOptions) 
 	if err != nil {
 		return nil, err
 	}
-	if opts == nil {
-		opts = &ResumeOptions{}
-	}
 	model := ck.Model
-	cfg := model.Config // defaults were applied by the original Fit
-	cfg.Ctx = opts.Ctx
-	cfg.Weights = opts.Weights
-	if opts.MaxIter > 0 {
-		cfg.MaxIter = opts.MaxIter
-	}
-	cfg.CheckpointPath = path
-	if opts.CheckpointPath != "" {
-		cfg.CheckpointPath = opts.CheckpointPath
-	}
-	if opts.CheckpointEvery > 0 {
-		cfg.CheckpointEvery = opts.CheckpointEvery
-	}
-	model.Config = cfg
+	cfg := resumeConfig(model, path, opts)
 
 	n, m := x.Dims()
 	if un, _ := model.U.Dims(); un != n {
@@ -252,7 +236,38 @@ func ResumeFit(path string, x *mat.Dense, omega *mat.Mask, opts *ResumeOptions) 
 			return nil, err
 		}
 	}
-	tr := newTrainer(model.Method, cfg)
+	tr := resumedTrainer(ck, model.Method, cfg)
+	tr.begin(model)
+	return runFit(model, tr, x, rx, omega, graph, ix)
+}
+
+// resumeConfig overlays the runtime-only ResumeOptions onto the
+// checkpointed configuration (defaults were applied by the original Fit)
+// and installs the result on the model.
+func resumeConfig(model *Model, path string, opts *ResumeOptions) Config {
+	if opts == nil {
+		opts = &ResumeOptions{}
+	}
+	cfg := model.Config
+	cfg.Ctx = opts.Ctx
+	cfg.Weights = opts.Weights
+	if opts.MaxIter > 0 {
+		cfg.MaxIter = opts.MaxIter
+	}
+	cfg.CheckpointPath = path
+	if opts.CheckpointPath != "" {
+		cfg.CheckpointPath = opts.CheckpointPath
+	}
+	if opts.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = opts.CheckpointEvery
+	}
+	model.Config = cfg
+	return cfg
+}
+
+// resumedTrainer rebuilds the trainer state a checkpoint captured.
+func resumedTrainer(ck *Checkpoint, method Method, cfg Config) *trainer {
+	tr := newTrainer(method, cfg)
 	tr.hash = ck.Hash
 	tr.stepScale = ck.StepScale
 	tr.jitter = ck.Jitter
@@ -261,8 +276,7 @@ func ResumeFit(path string, x *mat.Dense, omega *mat.Mask, opts *ResumeOptions) 
 		tr.anchorU, tr.anchorV, tr.gradV = ck.AnchorU, ck.AnchorV, ck.GradV
 		tr.anchorAge = ck.AnchorAge
 	}
-	tr.begin(model)
-	return runFit(model, tr, x, rx, omega, graph, ix)
+	return tr
 }
 
 // fitHash binds a checkpoint to its training run: FNV-1a over the data
@@ -297,6 +311,14 @@ func fitHash(x *mat.Dense, omega *mat.Mask, method Method, l int, cfg Config) ui
 			wf(v)
 		}
 	}
+	hashTrajectoryConfig(wi, wf, cfg)
+	return h.Sum64()
+}
+
+// hashTrajectoryConfig feeds every Config field that shapes the optimization
+// trajectory into a hash, in a fixed order shared by the dense fitHash and
+// the store-backed sourceFitHash (so the two stay in sync by construction).
+func hashTrajectoryConfig(wi func(int64), wf func(float64), cfg Config) {
 	wi(int64(cfg.K))
 	wf(cfg.Lambda)
 	wi(int64(cfg.P))
@@ -312,5 +334,4 @@ func fitHash(x *mat.Dense, omega *mat.Mask, method Method, l int, cfg Config) ui
 	wi(int64(cfg.LandmarkSource))
 	wi(int64(cfg.GraphMode))
 	wi(int64(cfg.SpatialIndex))
-	return h.Sum64()
 }

@@ -69,17 +69,9 @@ func Fit(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*Mode
 	// landmark coreset (landmark coordinates weighted by bucket population)
 	// instead of a second full pass over N — one landmark set serves both
 	// the spatial index and the landmark columns of V.
-	var c *mat.Dense
-	if method == SMFL {
-		var err error
-		if ix != nil && cfg.LandmarkSource == KMeansCenters {
-			c, err = ix.KCenters(cfg.K, cfg.KMeansMaxIter, cfg.Seed)
-		} else {
-			c, err = generateLandmarks(si, cfg)
-		}
-		if err != nil {
-			return nil, err
-		}
+	c, err := landmarksFor(si, ix, method, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	model := &Model{Method: method, Config: cfg, L: l, C: c}
@@ -94,6 +86,18 @@ func Fit(x *mat.Dense, omega *mat.Mask, l int, method Method, cfg Config) (*Mode
 	}
 	tr.begin(model)
 	return runFit(model, tr, x, rx, omega, graph, ix)
+}
+
+// landmarksFor generates the landmark matrix C (SMFL only; nil otherwise),
+// preferring the landmark index's K-means coreset when one is available.
+func landmarksFor(si *mat.Dense, ix *landmark.Index, method Method, cfg Config) (*mat.Dense, error) {
+	if method != SMFL {
+		return nil, nil
+	}
+	if ix != nil && cfg.LandmarkSource == KMeansCenters {
+		return ix.KCenters(cfg.K, cfg.KMeansMaxIter, cfg.Seed)
+	}
+	return generateLandmarks(si, cfg)
 }
 
 // buildSpatial constructs the p-NN graph over si behind the SpatialIndex
@@ -139,7 +143,7 @@ func runFit(model *Model, tr *trainer, x, rx *mat.Dense, omega *mat.Mask, graph 
 	case GradientDescent:
 		err = runGradientDescent(model, x, rx, omega, graph, tr)
 	case SGD, SVRG:
-		err = runStochastic(model, x, omega, graph, tr)
+		err = runStochastic(model, mat.NewDenseSource(x, omega), graph, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown updater %d", model.Config.Updater)
 	}

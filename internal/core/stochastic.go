@@ -27,6 +27,13 @@ import (
 // epoch's entry state, halves the learning rate (trainer.recover), and
 // retries the same epoch.
 //
+// Storage: the loop reads X and Ω only through the mat.RowSource seam, so it
+// runs unchanged over the resident dense pair (mat.NewDenseSource) and the
+// out-of-core shard store (internal/store). U, V, and the SVRG anchor stay
+// resident — they are O((N+M)·K), two orders below the O(N·M) data at the
+// benchmark shapes, and the watchdog/checkpoint machinery snapshots them
+// wholesale — while the O(N·M) row data streams through bounded shard pins.
+//
 // SVRG stores only the anchor factors and the anchor's K×M full V-gradient.
 // The usual N×K anchor U-gradient correction is omitted because it cancels
 // exactly: with row-block batches, a batch's U-gradient at the anchor for a
@@ -34,23 +41,23 @@ import (
 // −∇̃_B + w·∇̃_Ω contributes nothing row-wise (the batch term and the
 // row-restricted full term coincide). Only the V-direction needs variance
 // reduction.
-func runStochastic(model *Model, x *mat.Dense, omega *mat.Mask, graph *spatial.Graph, tr *trainer) error {
+func runStochastic(model *Model, src mat.RowSource, graph *spatial.Graph, tr *trainer) error {
 	cfg := model.Config
 	u, v := model.U, model.V
-	n, m := x.Dims()
+	n, m := src.Dims()
 	k := cfg.K
 	lam := cfg.Lambda
 	startCol := model.startCol()
 	svrg := cfg.Updater == SVRG
 
-	sampler := mat.NewBatchSampler(omega, cfg.BatchCells, tr.sample)
+	sampler := mat.NewBatchSamplerSource(src, cfg.BatchCells, tr.sample)
 	scratch := mat.NewBatchScratch()
 	gv := mat.NewDense(k, m)
 	var lu *mat.Dense
 	if graph != nil && lam > 0 {
 		lu = mat.NewDense(n, k)
 	}
-	total := float64(omega.Count())
+	total := float64(src.NumObserved())
 
 	it := model.Iters
 	for it < cfg.MaxIter {
@@ -79,7 +86,7 @@ func runStochastic(model *Model, x *mat.Dense, omega *mat.Mask, graph *spatial.G
 				tr.anchorU.CopyFrom(u)
 				tr.anchorV.CopyFrom(v)
 			}
-			omega.VGradObserved(tr.gradV, x, tr.anchorU, tr.anchorV, startCol, scratch)
+			mat.VGradObservedSource(src, tr.gradV, tr.anchorU, tr.anchorV, startCol, scratch)
 			tr.anchorAge = 0
 		}
 
@@ -96,20 +103,20 @@ func runStochastic(model *Model, x *mat.Dense, omega *mat.Mask, graph *spatial.G
 		for b, nb := 0, sampler.NumBatches(); b < nb; b++ {
 			rows := sampler.Batch(b)
 			if svrg {
-				omega.StochasticStep(gv, x, u, v, rows, lr, startCol, tr.anchorU, tr.anchorV, scratch)
+				mat.StochasticStepSource(src, gv, u, v, rows, lr, startCol, tr.anchorU, tr.anchorV, scratch)
 				w := 0.0
 				if total > 0 {
 					w = float64(sampler.BatchCells(b)) / total
 				}
 				applyVStep(v, gv, tr.gradV, w, lr, startCol)
 			} else {
-				omega.StochasticStep(gv, x, u, v, rows, lr, startCol, nil, nil, scratch)
+				mat.StochasticStepSource(src, gv, u, v, rows, lr, startCol, nil, nil, scratch)
 				applyVStep(v, gv, nil, 0, lr, startCol)
 			}
 		}
 
 		// Fused epoch objective, identical to the full-sweep updaters.
-		obj := omega.MaskedFrob2Mul(x, u, v)
+		obj := mat.MaskedFrob2MulSource(src, u, v)
 		if graph != nil && lam > 0 {
 			obj += lam * graph.QuadForm(u)
 		}

@@ -45,6 +45,18 @@ const (
 	// instrumented writer must leave the previous file intact and the temp
 	// file behind, exactly like a real crash.
 	PersistRename Point = "persist.rename"
+	// ShardWrite fires inside the row-shard writer (internal/store) after a
+	// shard's payload is buffered but before fsync, with a
+	// *store.ShardFault payload — an injected disk error mid-conversion.
+	ShardWrite Point = "shard.write"
+	// ShardRename fires between a store temp-file write and the rename that
+	// publishes it (shards and the manifest alike) — a simulated crash that
+	// must leave the directory openable-or-rejected, never silently torn.
+	ShardRename Point = "shard.rename"
+	// ManifestWrite fires before the shard manifest's fsync. The manifest is
+	// written last, so a failure here leaves a directory with no manifest,
+	// which Open must refuse.
+	ManifestWrite Point = "manifest.write"
 )
 
 // Hook decides what happens when an armed point is hit. A non-nil error makes

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -107,6 +109,9 @@ func Load(root string) ([]*Package, error) {
 		if err != nil {
 			return fmt.Errorf("smflvet: parse %s: %w", path, err)
 		}
+		if !buildConstraintSatisfied(file) {
+			return nil // e.g. the !unix half of a GOOS-split file pair
+		}
 		dir := filepath.Dir(path)
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -168,6 +173,46 @@ func Load(root string) ([]*Package, error) {
 		})
 	}
 	return pkgs, nil
+}
+
+// unixGOOS mirrors the platforms the "unix" build tag matches.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildConstraintSatisfied evaluates the file's //go:build line (if any)
+// against the host platform, so the loader type-checks exactly the file set
+// the host toolchain compiles — one of any GOOS-split pair, never both.
+func buildConstraintSatisfied(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.End() >= file.Package {
+			break // build constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed lines are the compiler's problem
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH:
+					return true
+				case "unix":
+					return unixGOOS[runtime.GOOS]
+				}
+				// Release tags: the running toolchain satisfies every go1.N
+				// up to its own version; treat them all as satisfied since
+				// the module's go directive already gates the build.
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
 }
 
 // topoSort orders packages so every intra-module dependency type-checks

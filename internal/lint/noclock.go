@@ -13,6 +13,7 @@ var fitPathPackages = []string{
 	"internal/linalg",
 	"internal/spatial",
 	"internal/kmeans",
+	"internal/store",
 }
 
 // clockFuncs are the time package entry points that read or wait on the wall

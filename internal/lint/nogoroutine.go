@@ -15,6 +15,7 @@ var kernelPackages = []string{
 	"internal/landmark",
 	"internal/linalg",
 	"internal/spatial",
+	"internal/store",
 }
 
 // nogoroutineAllowFiles are file basenames inside kernel packages that may
@@ -25,7 +26,7 @@ var nogoroutineAllowFiles = map[string]bool{
 
 var checkNoGoroutine = Check{
 	Name: "nogoroutine",
-	Doc:  "kernel packages (mat, core, landmark, linalg, spatial) must use the worker pool, never raw go statements",
+	Doc:  "kernel packages (mat, core, landmark, linalg, spatial, store) must use the worker pool, never raw go statements",
 	run:  runNoGoroutine,
 }
 

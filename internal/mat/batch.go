@@ -5,9 +5,11 @@ import "fmt"
 // This file holds the mini-batch machinery behind the stochastic updaters:
 // a deterministic row-block sampler over the CSR index of Ω, and the fused
 // gather/scatter kernels that apply one projected SGD step to the sampled
-// rows while accumulating the batch's V-direction. Everything here is a
-// pure function of (mask, factors, sampler state, pool size), which is what
-// lets checkpointed stochastic fits resume bit-identically.
+// rows while accumulating the batch's V-direction. The kernels read row data
+// through the RowSource seam (source.go), so the dense in-memory path and
+// the out-of-core shard store share every line of arithmetic. Everything
+// here is a pure function of (source, factors, sampler state, pool size),
+// which is what lets checkpointed stochastic fits resume bit-identically.
 
 // BatchSampler draws deterministic mini-batches of observed cells for the
 // stochastic updaters. Batches are row blocks: each epoch reshuffles the
@@ -18,7 +20,7 @@ import "fmt"
 // of it — so checkpoints persist it and epoch-granularity rollbacks rewind
 // it without replaying history.
 type BatchSampler struct {
-	mask   *Mask
+	indptr []int // CSR row pointer of Ω (length n+1)
 	target int
 	state  uint64
 
@@ -31,10 +33,21 @@ type BatchSampler struct {
 // targetCells observed cells per batch (clamped to at least 1). state seeds
 // the permutation stream; equal states yield identical epoch sequences.
 func NewBatchSampler(m *Mask, targetCells int, state uint64) *BatchSampler {
+	return newBatchSampler(m.rowIdx().indptr, targetCells, state)
+}
+
+// NewBatchSamplerSource builds the sampler from a RowSource. Equal row
+// pointers yield epoch layouts identical to the mask-backed constructor —
+// the sampler needs only Ω's per-row counts, never the values.
+func NewBatchSamplerSource(src RowSource, targetCells int, state uint64) *BatchSampler {
+	return newBatchSampler(src.RowPtr(), targetCells, state)
+}
+
+func newBatchSampler(indptr []int, targetCells int, state uint64) *BatchSampler {
 	if targetCells < 1 {
 		targetCells = 1
 	}
-	return &BatchSampler{mask: m, target: targetCells, state: state, perm: make([]int32, m.rows)}
+	return &BatchSampler{indptr: indptr, target: targetCells, state: state, perm: make([]int32, len(indptr)-1)}
 }
 
 // State returns the sampler position. Snapshot it before an epoch's
@@ -68,12 +81,11 @@ func (s *BatchSampler) Reshuffle() {
 		j := int(splitmix64(&local) % uint64(i+1))
 		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
 	}
-	ix := s.mask.rowIdx()
 	s.starts = append(s.starts[:0], 0)
 	s.cells = s.cells[:0]
 	acc := 0
 	for p, row := range s.perm {
-		acc += ix.indptr[row+1] - ix.indptr[row]
+		acc += s.indptr[row+1] - s.indptr[row]
 		if acc >= s.target && p+1 < len(s.perm) {
 			s.starts = append(s.starts, p+1)
 			s.cells = append(s.cells, acc)
@@ -146,7 +158,16 @@ func (sc *BatchScratch) ensure(nc, km, cols int, anchor bool) {
 // the worker pool; per-chunk partials combine in chunk order, so results
 // are deterministic for a fixed pool size.
 func (m *Mask) StochasticStep(gv, x, u, v *Dense, rows []int32, lr float64, startCol int, au, av *Dense, sc *BatchScratch) {
-	m.stochAccum(gv, x, u, v, au, av, rows, lr, true, startCol, sc)
+	stochAccum(NewDenseSource(x, m), gv, u, v, au, av, rows, lr, true, startCol, sc)
+}
+
+// StochasticStepSource is StochasticStep reading row data through a
+// RowSource instead of a resident (x, mask) pair. With equal sources the two
+// produce Float64bits-identical results: the chunk partition depends only on
+// (row count, |Ω|·K work, pool size) and each chunk's arithmetic reads the
+// same values in the same order.
+func StochasticStepSource(src RowSource, gv, u, v *Dense, rows []int32, lr float64, startCol int, au, av *Dense, sc *BatchScratch) {
+	stochAccum(src, gv, u, v, au, av, rows, lr, true, startCol, sc)
 }
 
 // VGradObserved stores the full observed V-direction at the given factors
@@ -157,18 +178,26 @@ func (m *Mask) StochasticStep(gv, x, u, v *Dense, rows []int32, lr float64, star
 // This is the SVRG anchor's full gradient snapshot, recomputed once per
 // anchor refresh in a single |Ω|·K pass (no N×M intermediate).
 func (m *Mask) VGradObserved(gv, x, u, v *Dense, startCol int, sc *BatchScratch) {
-	m.stochAccum(gv, x, u, v, nil, nil, nil, 0, false, startCol, sc)
+	stochAccum(NewDenseSource(x, m), gv, u, v, nil, nil, nil, 0, false, startCol, sc)
+}
+
+// VGradObservedSource is VGradObserved over a RowSource (the SVRG anchor
+// refresh of a source-backed fit).
+func VGradObservedSource(src RowSource, gv, u, v *Dense, startCol int, sc *BatchScratch) {
+	stochAccum(src, gv, u, v, nil, nil, nil, 0, false, startCol, sc)
 }
 
 // stochAccum is the shared kernel behind StochasticStep (rows != nil,
 // update) and VGradObserved (all rows, accumulate only). rows across a
-// batch are distinct, so parallel chunks write disjoint u rows.
-func (m *Mask) stochAccum(gv, x, u, v, au, av *Dense, rows []int32, lr float64, update bool, startCol int, sc *BatchScratch) {
+// batch are distinct, so parallel chunks write disjoint u rows. Each chunk
+// acquires its own row reader; shard-backed readers pin one shard at a time,
+// so the transient memory of a chunk is bounded by one shard regardless of N.
+func stochAccum(src RowSource, gv, u, v, au, av *Dense, rows []int32, lr float64, update bool, startCol int, sc *BatchScratch) {
+	srcRows, cols := src.Dims()
 	k := u.cols
-	cols := m.cols
-	if x.rows != m.rows || x.cols != cols || u.rows != m.rows || v.rows != k || v.cols != cols {
-		panic(fmt.Sprintf("mat: stochastic step %dx%d · %dx%d vs data %dx%d vs mask %dx%d",
-			u.rows, u.cols, v.rows, v.cols, x.rows, x.cols, m.rows, m.cols))
+	if u.rows != srcRows || v.rows != k || v.cols != cols {
+		panic(fmt.Sprintf("mat: stochastic step %dx%d · %dx%d vs source %dx%d",
+			u.rows, u.cols, v.rows, v.cols, srcRows, cols))
 	}
 	if gv.rows != k || gv.cols != cols {
 		panic(dimErr("stochastic step gv", gv, v))
@@ -179,14 +208,14 @@ func (m *Mask) stochAccum(gv, x, u, v, au, av *Dense, rows []int32, lr float64, 
 	if au != nil && (au.rows != u.rows || au.cols != k || av.rows != k || av.cols != cols) {
 		panic("mat: stochastic step anchor shape mismatch")
 	}
-	ix := m.rowIdx()
-	n := m.rows
-	ncells := len(ix.idx)
+	indptr := src.RowPtr()
+	n := srcRows
+	ncells := src.NumObserved()
 	if rows != nil {
 		n = len(rows)
 		ncells = 0
 		for _, r := range rows {
-			ncells += ix.indptr[r+1] - ix.indptr[r]
+			ncells += indptr[r+1] - indptr[r]
 		}
 	}
 	workPer := 4 // pred + gradU + pred' + scatter, k mul-adds each
@@ -196,6 +225,8 @@ func (m *Mask) stochAccum(gv, x, u, v, au, av *Dense, rows []int32, lr float64, 
 	nc := ChunksFor(n, ncells*k*workPer)
 	sc.ensure(nc, k*cols, cols, au != nil)
 	ParallelChunks(n, nc, func(ci, lo, hi int) {
+		rd := src.Reader()
+		defer rd.Release()
 		part := sc.partials[ci][:k*cols]
 		clear(part)
 		pred := sc.preds[ci][:cols]
@@ -208,12 +239,11 @@ func (m *Mask) stochAccum(gv, x, u, v, au, av *Dense, rows []int32, lr float64, 
 			if rows != nil {
 				i = int(rows[p])
 			}
-			jsr := ix.idx[ix.indptr[i]:ix.indptr[i+1]]
+			xi, jsr := rd.Row(i)
 			if len(jsr) == 0 {
 				continue
 			}
 			ui := u.data[i*k : (i+1)*k]
-			xi := x.data[i*cols : (i+1)*cols]
 			if update {
 				predictRow(pred, ui, v, jsr)
 				for _, j := range jsr {

@@ -202,11 +202,71 @@ func (m *Mask) MulBTObserved(dst, a, b *Dense) *Dense {
 // reduction is accumulated per worker chunk and combined in chunk order, so
 // results are deterministic for a fixed pool size.
 func (m *Mask) MaskedFrob2Mul(x, u, v *Dense) float64 {
-	return m.maskedFrob2Mul(x, u, v, nil)
+	if x.rows != m.rows || x.cols != m.cols {
+		panic(fmt.Sprintf("mat: MaskedFrob2Mul data %dx%d vs mask %dx%d", x.rows, x.cols, m.rows, m.cols))
+	}
+	return MaskedFrob2MulSource(NewDenseSource(x, m), u, v)
+}
+
+// MaskedFrob2MulSource is MaskedFrob2Mul over a RowSource. The chunk
+// partition and per-chunk accumulation order match the dense path exactly
+// (same row count, same |Ω|·K work estimate), so equal sources reduce to
+// Float64bits-identical objectives.
+func MaskedFrob2MulSource(src RowSource, u, v *Dense) float64 {
+	n, cols := src.Dims()
+	if u.rows != n || v.cols != cols || u.cols != v.rows {
+		panic(fmt.Sprintf("mat: MaskedFrob2Mul %dx%d · %dx%d vs source %dx%d",
+			u.rows, u.cols, v.rows, v.cols, n, cols))
+	}
+	if n == 0 || cols == 0 {
+		return 0
+	}
+	k := u.cols
+	return parallelReduce(n, src.NumObserved()*k, func(lo, hi int) float64 {
+		rd := src.Reader()
+		defer rd.Release()
+		pred := make([]float64, cols)
+		var s float64
+		for i := lo; i < hi; i++ {
+			xi, jsr := rd.Row(i)
+			if len(jsr) == 0 {
+				continue
+			}
+			ui := u.data[i*k : (i+1)*k]
+			for _, j := range jsr {
+				pred[j] = 0
+			}
+			t := 0
+			for ; t+4 <= k; t += 4 {
+				a0, a1, a2, a3 := ui[t], ui[t+1], ui[t+2], ui[t+3]
+				v0 := v.data[t*cols : (t+1)*cols]
+				v1 := v.data[(t+1)*cols : (t+2)*cols]
+				v2 := v.data[(t+2)*cols : (t+3)*cols]
+				v3 := v.data[(t+3)*cols : (t+4)*cols]
+				for _, j := range jsr {
+					pred[j] += a0*v0[j] + a1*v1[j] + a2*v2[j] + a3*v3[j]
+				}
+			}
+			for ; t < k; t++ {
+				av := ui[t]
+				vt := v.data[t*cols : (t+1)*cols]
+				for _, j := range jsr {
+					pred[j] += av * vt[j]
+				}
+			}
+			for _, j := range jsr {
+				d := xi[j] - pred[j]
+				s += d * d
+			}
+		}
+		return s
+	})
 }
 
 // MaskedWeightedFrob2Mul returns Σ_{(i,j)∈Ω} w_ij (x_ij − (u·v)_ij)², the
 // fused weighted variant of MaskedFrob2Mul.
+// The weighted objective is multiplicative-updater-only (never stochastic),
+// so it stays on the resident mask path rather than the RowSource seam.
 func (m *Mask) MaskedWeightedFrob2Mul(x, u, v, w *Dense) float64 {
 	if w.rows != m.rows || w.cols != m.cols {
 		panic(fmt.Sprintf("mat: MaskedWeightedFrob2Mul weights %dx%d vs mask %dx%d", w.rows, w.cols, m.rows, m.cols))

@@ -1,0 +1,141 @@
+package store
+
+// Crash tests for the shard writer: a fault at any point of the write
+// sequence — mid-shard, between temp file and rename, or during the
+// manifest publish — must leave a directory that Open refuses, never one
+// that silently trains on partial data. The manifest is written last and
+// renamed into place atomically, so every interrupted conversion is
+// distinguishable from a complete one, and re-running the conversion over
+// the wreckage recovers.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spatialmf/smfl/internal/faultinject"
+)
+
+// crashProblem is sized for four shards so mid-sequence faults land between
+// complete shard publishes.
+func crashProblem(t *testing.T) (dir string, write func() error) {
+	t.Helper()
+	x, mask := testProblem(t, 32, 5, 0.7, 11)
+	dir = filepath.Join(t.TempDir(), "data.smfs")
+	return dir, func() error {
+		return Write(dir, x, mask, WriteOptions{ShardRows: 8})
+	}
+}
+
+// assertUnopenable checks that Open rejects the directory, and that after a
+// clean re-run of the conversion it opens fine — the recovery path.
+func assertUnopenable(t *testing.T, dir string, write func() error) {
+	t.Helper()
+	if st, err := Open(dir, Config{}); err == nil {
+		st.Close()
+		t.Fatal("Open accepted an interrupted conversion")
+	}
+	if err := write(); err != nil {
+		t.Fatalf("re-running conversion over wreckage: %v", err)
+	}
+	st, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("Open after recovery: %v", err)
+	}
+	st.Close()
+}
+
+func TestCrashDuringShardWrite(t *testing.T) {
+	dir, write := crashProblem(t)
+	boom := errors.New("injected: disk full mid-shard")
+	// Fault on the third shard: two complete shards are already on disk.
+	var faultPath string
+	faultinject.Enable(faultinject.ShardWrite, faultinject.OnCall(3, func(payload any) error {
+		if sf, ok := payload.(*ShardFault); ok {
+			faultPath = sf.Path
+		}
+		return boom
+	}))
+	defer faultinject.Reset()
+
+	err := write()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want injected fault", err)
+	}
+	if !strings.Contains(faultPath, "shard-") {
+		t.Fatalf("fault payload should name the shard file, got %q", faultPath)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatal("interrupted conversion left a manifest behind")
+	}
+
+	faultinject.Reset()
+	assertUnopenable(t, dir, write)
+}
+
+func TestCrashBeforeShardRename(t *testing.T) {
+	dir, write := crashProblem(t)
+	boom := errors.New("injected: crash before rename")
+	faultinject.Enable(faultinject.ShardRename, faultinject.OnCall(2, faultinject.Fail(boom)))
+	defer faultinject.Reset()
+
+	if err := write(); !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want injected fault", err)
+	}
+	// The second shard's temp file may linger, but its final name must not
+	// exist and no manifest may exist.
+	if _, err := os.Stat(filepath.Join(dir, ShardFileName(1))); !os.IsNotExist(err) {
+		t.Fatal("shard published despite rename fault")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatal("interrupted conversion left a manifest behind")
+	}
+
+	faultinject.Reset()
+	assertUnopenable(t, dir, write)
+}
+
+func TestCrashDuringManifestWrite(t *testing.T) {
+	dir, write := crashProblem(t)
+	boom := errors.New("injected: crash during manifest write")
+	faultinject.Enable(faultinject.ManifestWrite, faultinject.Fail(boom))
+	defer faultinject.Reset()
+
+	if err := write(); !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want injected fault", err)
+	}
+	// Every shard is on disk and intact — only the manifest is missing. The
+	// directory must still be unopenable: shards without a manifest are
+	// indistinguishable from a torn conversion.
+	for s := 0; s < 4; s++ {
+		if _, err := os.Stat(filepath.Join(dir, ShardFileName(s))); err != nil {
+			t.Fatalf("shard %d missing after manifest-only fault: %v", s, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatal("manifest exists despite write fault")
+	}
+
+	faultinject.Reset()
+	assertUnopenable(t, dir, write)
+}
+
+func TestCrashBeforeManifestRename(t *testing.T) {
+	dir, write := crashProblem(t)
+	boom := errors.New("injected: crash before manifest rename")
+	// Renames fire once per shard (4) then once for the manifest.
+	faultinject.Enable(faultinject.ShardRename, faultinject.OnCall(5, faultinject.Fail(boom)))
+	defer faultinject.Reset()
+
+	if err := write(); !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want injected fault", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatal("manifest published despite rename fault")
+	}
+
+	faultinject.Reset()
+	assertUnopenable(t, dir, write)
+}

@@ -1,0 +1,398 @@
+// Package store implements the out-of-core row-shard storage backend behind
+// the stochastic training loop: the data matrix X (projected onto Ω) and the
+// per-row observed-column lists are laid out in fixed-size row shards on
+// disk, and an opened Store serves them through the mat.RowSource seam with
+// an LRU cache of memory-mapped shards bounded by Config.MemBudget. Because
+// the training kernels read rows through the same seam for both the dense
+// and the shard path, a shard-backed fit is Float64bits-identical to the
+// in-memory fit of the same data (see internal/core/storefit_test.go).
+//
+// On-disk layout of a store directory:
+//
+//	manifest.smfm    — shapes, shard table with per-shard FNV-1a hashes,
+//	                   optional normalization stats + column names, trailing
+//	                   whole-file checksum
+//	shard-000000.smfs … — fixed row ranges [s·shardRows, (s+1)·shardRows)
+//
+// Every multi-byte value is little-endian, and every shard section is laid
+// out so the float64/int32 payloads are 8-/4-byte aligned from offset 0 —
+// that is what lets an mmap'd shard be reinterpreted in place without a
+// decode copy. Writers publish files atomically (temp + fsync + rename +
+// directory fsync, mirroring the checkpoint writer) and write the manifest
+// last, so a crash mid-conversion leaves a directory that Open refuses
+// rather than one it silently trains on.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+const (
+	manifestMagic = "SMFSMAN1"
+	shardMagic    = "SMFSHRD1"
+	formatVersion = 1
+
+	// ManifestName is the manifest file inside a store directory.
+	ManifestName = "manifest.smfm"
+
+	shardHeaderSize = 64
+
+	// maxManifestSize bounds how much of a manifest file Open will read —
+	// far above any legitimate manifest, it only guards readers handed a
+	// hostile path.
+	maxManifestSize = 1 << 30
+
+	// maxDim bounds n and m so every size computation below fits int64
+	// with headroom (n·m·8 ≤ 2^62).
+	maxDim = 1 << 29
+
+	flagNorm    = 1 << 0
+	flagColumns = 1 << 1
+)
+
+// ShardFileName returns the file name of shard s inside a store directory.
+func ShardFileName(s int) string { return fmt.Sprintf("shard-%06d.smfs", s) }
+
+// shardMeta is one manifest row describing a shard file.
+type shardMeta struct {
+	lo, hi int    // global row range [lo, hi)
+	cells  int    // observed cells in the range
+	size   int64  // exact file size in bytes
+	hash   uint64 // FNV-1a over the full file contents
+}
+
+// manifest is the decoded manifest.smfm.
+type manifest struct {
+	n, m      int
+	shardRows int
+	cells     int
+	shards    []shardMeta
+
+	mins, maxs []float64 // optional per-column normalization stats
+	columns    []string  // optional column names
+}
+
+// expectedShardSize returns the exact byte size of a shard holding rows rows
+// of width m with cells observed cells, or ok=false on overflow. Layout:
+// 64-byte header, (rows+1) uint64 local row pointers, rows·m float64 values,
+// cells int32 column indices.
+func expectedShardSize(rows, m, cells uint64) (uint64, bool) {
+	if rows > maxDim || m > maxDim || cells > rows*m {
+		return 0, false
+	}
+	return shardHeaderSize + (rows+1)*8 + rows*m*8 + cells*4, true
+}
+
+// encodeManifest serializes man, appending the trailing FNV-1a checksum.
+func encodeManifest(man *manifest) []byte {
+	var buf []byte
+	buf = append(buf, manifestMagic...)
+	flags := uint32(0)
+	if man.mins != nil {
+		flags |= flagNorm
+	}
+	if man.columns != nil {
+		flags |= flagColumns
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, flags)
+	for _, v := range []int{man.n, man.m, man.shardRows, len(man.shards), man.cells} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	for _, sh := range man.shards {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.lo))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.hi))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.cells))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.size))
+		buf = binary.LittleEndian.AppendUint64(buf, sh.hash)
+	}
+	if man.mins != nil {
+		for _, v := range man.mins {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		for _, v := range man.maxs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	if man.columns != nil {
+		for _, name := range man.columns {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(name)))
+			buf = append(buf, name...)
+		}
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// byteReader is a bounds-checked little-endian cursor for hostile input.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) take(n int) ([]byte, bool) {
+	if n < 0 || n > len(r.b)-r.off {
+		return nil, false
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, true
+}
+
+func (r *byteReader) u32() (uint32, bool) {
+	b, ok := r.take(4)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b), true
+}
+
+func (r *byteReader) u64() (uint64, bool) {
+	b, ok := r.take(8)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b), true
+}
+
+var errManifest = fmt.Errorf("store: corrupt or truncated manifest")
+
+// decodeManifest parses and fully validates a manifest image: checksum,
+// magic/version, dimension bounds (length math is done in uint64 against the
+// input size before any allocation, so a shape lie cannot trigger an
+// allocation bomb), exact shard-range coverage of [0, n), and per-shard
+// size/cell consistency.
+func decodeManifest(data []byte) (*manifest, error) {
+	if len(data) < len(manifestMagic)+8+5*8+8 {
+		return nil, errManifest
+	}
+	if len(data) > maxManifestSize {
+		return nil, fmt.Errorf("store: manifest too large (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if binary.LittleEndian.Uint64(tail) != h.Sum64() {
+		return nil, fmt.Errorf("store: manifest checksum mismatch (torn or corrupted write)")
+	}
+	r := &byteReader{b: body}
+	magic, _ := r.take(len(manifestMagic))
+	if string(magic) != manifestMagic {
+		return nil, fmt.Errorf("store: not a shard-store manifest")
+	}
+	version, _ := r.u32()
+	if version != formatVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", version)
+	}
+	flags, _ := r.u32()
+	if flags&^uint32(flagNorm|flagColumns) != 0 {
+		return nil, fmt.Errorf("store: manifest has unknown flags %#x", flags)
+	}
+	var dims [5]uint64
+	for i := range dims {
+		v, ok := r.u64()
+		if !ok {
+			return nil, errManifest
+		}
+		dims[i] = v
+	}
+	n, m, shardRows, nshards, cells := dims[0], dims[1], dims[2], dims[3], dims[4]
+	if n == 0 || m == 0 || n > maxDim || m > maxDim {
+		return nil, fmt.Errorf("store: manifest claims impossible shape %dx%d", n, m)
+	}
+	if shardRows == 0 || shardRows > n {
+		return nil, fmt.Errorf("store: manifest claims %d rows per shard for %d rows", shardRows, n)
+	}
+	if want := (n + shardRows - 1) / shardRows; nshards != want {
+		return nil, fmt.Errorf("store: manifest claims %d shards, %d rows at %d rows/shard need %d", nshards, n, shardRows, want)
+	}
+	if cells > n*m {
+		return nil, fmt.Errorf("store: manifest claims %d observed cells in a %dx%d matrix", cells, n, m)
+	}
+	// Allocation-bomb guard: the shard table must actually fit in the input.
+	if nshards > uint64(len(body)-r.off)/40 {
+		return nil, errManifest
+	}
+	man := &manifest{
+		n: int(n), m: int(m), shardRows: int(shardRows), cells: int(cells),
+		shards: make([]shardMeta, int(nshards)),
+	}
+	var cellSum uint64
+	for s := range man.shards {
+		var f [5]uint64
+		for i := range f {
+			v, ok := r.u64()
+			if !ok {
+				return nil, errManifest
+			}
+			f[i] = v
+		}
+		lo, hi, scells, size, hash := f[0], f[1], f[2], f[3], f[4]
+		wantLo := uint64(s) * shardRows
+		wantHi := wantLo + shardRows
+		if wantHi > n {
+			wantHi = n
+		}
+		if lo != wantLo || hi != wantHi {
+			return nil, fmt.Errorf("store: shard %d covers rows [%d,%d), want [%d,%d)", s, lo, hi, wantLo, wantHi)
+		}
+		wantSize, ok := expectedShardSize(hi-lo, m, scells)
+		if !ok || size != wantSize {
+			return nil, fmt.Errorf("store: shard %d claims %d bytes for %d rows / %d cells, want %d", s, size, hi-lo, scells, wantSize)
+		}
+		cellSum += scells
+		man.shards[s] = shardMeta{lo: int(lo), hi: int(hi), cells: int(scells), size: int64(size), hash: hash}
+	}
+	if cellSum != cells {
+		return nil, fmt.Errorf("store: shard cells sum to %d, manifest claims %d", cellSum, cells)
+	}
+	if flags&flagNorm != 0 {
+		// Allocation-bomb guard: both stat vectors must fit the input.
+		if uint64(len(body)-r.off) < 2*8*uint64(man.m) {
+			return nil, errManifest
+		}
+		man.mins = make([]float64, man.m)
+		man.maxs = make([]float64, man.m)
+		for _, dst := range [][]float64{man.mins, man.maxs} {
+			for j := range dst {
+				v, ok := r.u64()
+				if !ok {
+					return nil, errManifest
+				}
+				dst[j] = math.Float64frombits(v)
+				if math.IsNaN(dst[j]) || math.IsInf(dst[j], 0) {
+					return nil, fmt.Errorf("store: manifest normalization stat %d is not finite", j)
+				}
+			}
+		}
+		for j := range man.mins {
+			if man.maxs[j] < man.mins[j] {
+				return nil, fmt.Errorf("store: manifest normalization column %d has max < min", j)
+			}
+		}
+	}
+	if flags&flagColumns != 0 {
+		// Allocation-bomb guard: each name costs at least its 4-byte length.
+		if uint64(len(body)-r.off) < 4*uint64(man.m) {
+			return nil, errManifest
+		}
+		man.columns = make([]string, 0, man.m)
+		for j := 0; j < man.m; j++ {
+			l, ok := r.u32()
+			if !ok {
+				return nil, errManifest
+			}
+			name, ok := r.take(int(l))
+			if !ok {
+				return nil, errManifest
+			}
+			man.columns = append(man.columns, string(name))
+		}
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("store: manifest has %d trailing bytes", len(body)-r.off)
+	}
+	return man, nil
+}
+
+// shardHeader is the decoded fixed header of a shard file.
+type shardHeader struct {
+	index  int
+	lo, hi int
+	m      int
+	cells  int
+}
+
+// shard section offsets, all derived from the header. rows = hi-lo.
+func (h shardHeader) rows() int       { return h.hi - h.lo }
+func (h shardHeader) indptrOff() int  { return shardHeaderSize }
+func (h shardHeader) valuesOff() int  { return shardHeaderSize + (h.rows()+1)*8 }
+func (h shardHeader) columnsOff() int { return h.valuesOff() + h.rows()*h.m*8 }
+
+// encodeShardHeader writes the 64-byte header into buf[:shardHeaderSize].
+func encodeShardHeader(buf []byte, h shardHeader) {
+	copy(buf, shardMagic)
+	binary.LittleEndian.PutUint32(buf[8:], formatVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.index))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(h.lo))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(h.hi))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(h.m))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(h.cells))
+	// buf[48:64] reserved, zero.
+}
+
+// parseShardHeader decodes and validates the fixed header of a shard image,
+// including that the image length matches the header's claimed shape
+// exactly — a truncated or padded shard is rejected here.
+func parseShardHeader(data []byte) (shardHeader, error) {
+	var h shardHeader
+	if len(data) < shardHeaderSize {
+		return h, fmt.Errorf("store: shard truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != shardMagic {
+		return h, fmt.Errorf("store: not a shard file")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != formatVersion {
+		return h, fmt.Errorf("store: unsupported shard version %d", v)
+	}
+	index := binary.LittleEndian.Uint32(data[12:])
+	lo := binary.LittleEndian.Uint64(data[16:])
+	hi := binary.LittleEndian.Uint64(data[24:])
+	m := binary.LittleEndian.Uint64(data[32:])
+	cells := binary.LittleEndian.Uint64(data[40:])
+	for _, b := range data[48:shardHeaderSize] {
+		if b != 0 {
+			return h, fmt.Errorf("store: shard header has nonzero reserved bytes")
+		}
+	}
+	if lo >= hi || hi-lo > maxDim || hi > maxDim || m == 0 || m > maxDim {
+		return h, fmt.Errorf("store: shard header claims impossible rows [%d,%d) width %d", lo, hi, m)
+	}
+	size, ok := expectedShardSize(hi-lo, m, cells)
+	if !ok || size != uint64(len(data)) {
+		return h, fmt.Errorf("store: shard is %d bytes, header shape needs %d", len(data), size)
+	}
+	h = shardHeader{index: int(index), lo: int(lo), hi: int(hi), m: int(m), cells: int(cells)}
+	return h, nil
+}
+
+// validateShardBody checks the payload of a parsed shard image: a monotone
+// local row pointer ending at cells, per-row strictly increasing column
+// indices inside [0, m), and finite nonnegative observed values (the same
+// input contract core.Fit enforces on dense data, verified here once at open
+// so the kernels can trust mapped bytes).
+func validateShardBody(data []byte, h shardHeader) error {
+	rows, m := h.rows(), h.m
+	ipOff, valOff, colOff := h.indptrOff(), h.valuesOff(), h.columnsOff()
+	prev := uint64(0)
+	if first := binary.LittleEndian.Uint64(data[ipOff:]); first != 0 {
+		return fmt.Errorf("store: shard %d row pointer starts at %d", h.index, first)
+	}
+	for r := 0; r < rows; r++ {
+		end := binary.LittleEndian.Uint64(data[ipOff+(r+1)*8:])
+		if end < prev || end > uint64(h.cells) {
+			return fmt.Errorf("store: shard %d row pointer not monotone at row %d", h.index, r)
+		}
+		prevCol := int32(-1)
+		for c := prev; c < end; c++ {
+			col := int32(binary.LittleEndian.Uint32(data[colOff+int(c)*4:]))
+			if col <= prevCol || int(col) >= m {
+				return fmt.Errorf("store: shard %d row %d has invalid column %d", h.index, r, col)
+			}
+			prevCol = col
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[valOff+(r*m+int(col))*8:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("store: shard %d row %d column %d holds non-finite or negative value", h.index, r, col)
+			}
+		}
+		prev = end
+	}
+	if prev != uint64(h.cells) {
+		return fmt.Errorf("store: shard %d row pointer ends at %d, header claims %d cells", h.index, prev, h.cells)
+	}
+	return nil
+}

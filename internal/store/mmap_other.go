@@ -1,0 +1,24 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"unsafe"
+)
+
+// mapShardFile on platforms without the unix mmap shim reads the shard into
+// an 8-byte-aligned heap buffer ([]uint64 backing, so the float64 views stay
+// aligned). Eviction still bounds how many of these are live at once; the
+// pages just count against the Go heap instead of the page cache.
+func mapShardFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, func() error { return nil }, nil
+	}
+	words := make([]uint64, (size+7)/8)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := f.ReadAt(b, 0); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

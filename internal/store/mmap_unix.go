@@ -1,0 +1,23 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapShardFile maps size bytes of f read-only. The mapping survives closing
+// f; the returned cleanup unmaps it. Mapped pages live in the page cache,
+// not the Go heap, so runtime.MemStats never sees shard data — the store's
+// own resident accounting (Stats) is the budget-side ledger.
+func mapShardFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,355 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/spatialmf/smfl/internal/mat"
+)
+
+// DefaultMemBudget is the mapped-shard budget when Config leaves it zero.
+const DefaultMemBudget int64 = 256 << 20
+
+// Config tunes an opened store.
+type Config struct {
+	// MemBudget caps the total bytes of shard data kept mapped at once
+	// (default DefaultMemBudget). Shards pinned by active readers are never
+	// evicted, so transient residency can exceed the budget by one shard
+	// per concurrent reader; the cache settles back under it as readers
+	// release.
+	MemBudget int64
+}
+
+// Stats is a snapshot of the store's cache counters.
+type Stats struct {
+	// ShardMaps counts shard map-ins (the first map and every re-map after
+	// an eviction).
+	ShardMaps int64
+	// Evictions counts shard unmaps forced by the budget.
+	Evictions int64
+	// Resident is the current mapped-shard byte total.
+	Resident int64
+	// PeakResident is the high-water mark of Resident over the store's
+	// lifetime — the number the out-of-core smoke test bounds.
+	PeakResident int64
+}
+
+// slot is the cache state of one shard.
+type slot struct {
+	data    []byte
+	unmap   func() error
+	values  []float64 // rows·m float64 view into data
+	columns []int32   // cells int32 view into data
+	refs    int
+	lastUse uint64
+	size    int64
+}
+
+// Store is an opened shard directory, serving rows through the
+// mat.RowSource seam with an LRU of mapped shards bounded by MemBudget.
+// Dims/NumObserved/RowPtr/ContentHash and Reader are safe for concurrent
+// use; each RowReader must stay on a single goroutine.
+type Store struct {
+	dir    string
+	man    *manifest
+	indptr []int  // global CSR row pointer, resident (n+1 ints)
+	hash   uint64 // ContentHash, fixed at Open
+
+	budget int64
+
+	mu       sync.Mutex
+	slots    []slot
+	clock    uint64
+	resident int64
+	stats    Stats
+	closed   bool
+}
+
+// Open validates and opens the shard store at dir. Every shard is streamed
+// through once: its size and FNV-1a content hash are checked against the
+// manifest and its row pointers, column lists, and observed values are fully
+// validated — so a torn shard, a torn manifest, or data violating the fit
+// contract is rejected here, never silently trained on. Transient memory
+// during Open is one shard at a time; the resident footprint of an opened
+// store is the n+1 row pointer plus at most MemBudget of mapped shards.
+func Open(dir string, cfg Config) (*Store, error) {
+	if !hostLittleEndian() {
+		return nil, fmt.Errorf("store: shard mapping requires a little-endian host")
+	}
+	mpath := filepath.Join(dir, ManifestName)
+	if fi, err := os.Stat(mpath); err != nil {
+		return nil, fmt.Errorf("store: %s is not a shard store (no manifest): %w", dir, err)
+	} else if fi.Size() > maxManifestSize {
+		return nil, fmt.Errorf("store: manifest too large (%d bytes)", fi.Size())
+	}
+	mb, err := os.ReadFile(mpath)
+	if err != nil {
+		return nil, err
+	}
+	man, err := decodeManifest(mb)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &Store{
+		dir:    dir,
+		man:    man,
+		indptr: make([]int, man.n+1),
+		budget: cfg.MemBudget,
+		slots:  make([]slot, len(man.shards)),
+	}
+	if st.budget <= 0 {
+		st.budget = DefaultMemBudget
+	}
+	ch := fnv.New64a()
+	chw := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		ch.Write(b[:])
+	}
+	ch.Write([]byte(manifestMagic))
+	chw(uint64(man.n))
+	chw(uint64(man.m))
+	chw(uint64(man.shardRows))
+	chw(uint64(man.cells))
+
+	for s, meta := range man.shards {
+		data, err := os.ReadFile(filepath.Join(dir, ShardFileName(s)))
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", s, err)
+		}
+		if int64(len(data)) != meta.size {
+			return nil, fmt.Errorf("store: shard %d is %d bytes, manifest says %d (torn write?)", s, len(data), meta.size)
+		}
+		fh := fnv.New64a()
+		fh.Write(data)
+		if fh.Sum64() != meta.hash {
+			return nil, fmt.Errorf("store: shard %d content hash mismatch (corrupted or torn write)", s)
+		}
+		h, err := parseShardHeader(data)
+		if err != nil {
+			return nil, err
+		}
+		if h.index != s || h.lo != meta.lo || h.hi != meta.hi || h.m != man.m || h.cells != meta.cells {
+			return nil, fmt.Errorf("store: shard %d header disagrees with manifest", s)
+		}
+		if err := validateShardBody(data, h); err != nil {
+			return nil, err
+		}
+		base := st.indptr[meta.lo]
+		for r := 0; r < h.rows(); r++ {
+			local := binary.LittleEndian.Uint64(data[h.indptrOff()+(r+1)*8:])
+			st.indptr[meta.lo+r+1] = base + int(local)
+		}
+		chw(uint64(meta.lo))
+		chw(uint64(meta.hi))
+		chw(uint64(meta.cells))
+		chw(uint64(meta.size))
+		chw(meta.hash)
+	}
+	st.hash = ch.Sum64()
+	return st, nil
+}
+
+// Dims implements mat.RowSource.
+func (st *Store) Dims() (int, int) { return st.man.n, st.man.m }
+
+// NumObserved implements mat.RowSource.
+func (st *Store) NumObserved() int { return st.man.cells }
+
+// RowPtr implements mat.RowSource.
+func (st *Store) RowPtr() []int { return st.indptr }
+
+// ContentHash returns the FNV-1a fingerprint of the stored shapes and shard
+// contents, fixed at Open. Checkpoints of store-backed fits embed it, so
+// resume refuses a store whose data changed.
+func (st *Store) ContentHash() uint64 { return st.hash }
+
+// Norm returns the recorded normalization stats, if the writer provided any.
+func (st *Store) Norm() (mins, maxs []float64, ok bool) {
+	return st.man.mins, st.man.maxs, st.man.mins != nil
+}
+
+// Columns returns the recorded column names (nil if absent).
+func (st *Store) Columns() []string { return st.man.columns }
+
+// ShardRows returns the store's rows-per-shard layout constant.
+func (st *Store) ShardRows() int { return st.man.shardRows }
+
+// Stats returns a snapshot of the cache counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.stats
+	s.Resident = st.resident
+	return s
+}
+
+// Close unmaps every cached shard. The store (and any outstanding reader)
+// must not be used afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var first error
+	for s := range st.slots {
+		sl := &st.slots[s]
+		if sl.data == nil {
+			continue
+		}
+		if err := sl.unmap(); err != nil && first == nil {
+			first = err
+		}
+		st.resident -= sl.size
+		*sl = slot{}
+	}
+	st.closed = true
+	return first
+}
+
+// Reader implements mat.RowSource. The reader pins at most one shard at a
+// time, swapping pins as row accesses cross shard boundaries.
+func (st *Store) Reader() mat.RowReader {
+	return &shardReader{st: st, cur: -1}
+}
+
+// acquire pins shard s, mapping it (after evicting unpinned LRU shards to
+// stay under budget) if it is not cached. Mapping failures panic: the
+// RowReader seam has no error channel, the files were fully validated at
+// Open, and the store contract is that they stay immutable while open — a
+// failure here means that contract was broken externally.
+func (st *Store) acquire(s int) *slot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		panic("store: shard access after Close")
+	}
+	sl := &st.slots[s]
+	if sl.data == nil {
+		meta := st.man.shards[s]
+		st.evictFor(meta.size)
+		if err := st.mapSlot(s, sl, meta); err != nil {
+			panic(fmt.Sprintf("store: shard %d changed or vanished while open: %v", s, err))
+		}
+		st.stats.ShardMaps++
+		st.resident += sl.size
+		if st.resident > st.stats.PeakResident {
+			st.stats.PeakResident = st.resident
+		}
+	}
+	sl.refs++
+	st.clock++
+	sl.lastUse = st.clock
+	return sl
+}
+
+// mapSlot maps shard s into sl and builds its typed views. Cheap sanity
+// checks only — full validation happened at Open.
+func (st *Store) mapSlot(s int, sl *slot, meta shardMeta) error {
+	f, err := os.Open(filepath.Join(st.dir, ShardFileName(s)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() != meta.size {
+		return fmt.Errorf("size changed from %d to %d bytes", meta.size, fi.Size())
+	}
+	data, unmap, err := mapShardFile(f, meta.size)
+	if err != nil {
+		return err
+	}
+	if string(data[:8]) != shardMagic {
+		unmap()
+		return fmt.Errorf("magic overwritten")
+	}
+	h := shardHeader{index: s, lo: meta.lo, hi: meta.hi, m: st.man.m, cells: meta.cells}
+	sl.data = data
+	sl.unmap = unmap
+	sl.values = float64View(data[h.valuesOff():h.columnsOff()])
+	sl.columns = int32View(data[h.columnsOff() : h.columnsOff()+meta.cells*4])
+	sl.size = meta.size
+	return nil
+}
+
+// release drops one pin on shard s.
+func (st *Store) release(s int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sl := &st.slots[s]
+	sl.refs--
+	st.clock++
+	sl.lastUse = st.clock
+}
+
+// evictFor unmaps least-recently-used unpinned shards until need more bytes
+// fit under the budget (or nothing evictable remains — pinned shards may
+// transiently push residency past the budget).
+func (st *Store) evictFor(need int64) {
+	for st.resident+need > st.budget {
+		victim := -1
+		for s := range st.slots {
+			sl := &st.slots[s]
+			if sl.data == nil || sl.refs > 0 {
+				continue
+			}
+			if victim < 0 || sl.lastUse < st.slots[victim].lastUse {
+				victim = s
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		sl := &st.slots[victim]
+		sl.unmap()
+		st.resident -= sl.size
+		st.stats.Evictions++
+		*sl = slot{}
+	}
+}
+
+// shardReader is the mat.RowReader over a Store. Not goroutine-safe; each
+// worker chunk gets its own.
+type shardReader struct {
+	st      *Store
+	cur     int // pinned shard index, -1 when none
+	lo      int // first global row of the pinned shard
+	base    int // st.indptr[lo]
+	values  []float64
+	columns []int32
+}
+
+// Row implements mat.RowReader. Consecutive rows from the same shard reuse
+// the pin; crossing a shard boundary releases it and pins the new shard.
+func (r *shardReader) Row(i int) ([]float64, []int32) {
+	s := i / r.st.man.shardRows
+	if s != r.cur {
+		if r.cur >= 0 {
+			r.st.release(r.cur)
+		}
+		sl := r.st.acquire(s)
+		r.cur = s
+		r.lo = r.st.man.shards[s].lo
+		r.base = r.st.indptr[r.lo]
+		r.values = sl.values
+		r.columns = sl.columns
+	}
+	m := r.st.man.m
+	li := i - r.lo
+	return r.values[li*m : (li+1)*m], r.columns[r.st.indptr[i]-r.base : r.st.indptr[i+1]-r.base]
+}
+
+// Release implements mat.RowReader.
+func (r *shardReader) Release() {
+	if r.cur >= 0 {
+		r.st.release(r.cur)
+		r.cur = -1
+		r.values, r.columns = nil, nil
+	}
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// The mapped-shard fast path reinterprets file bytes as []float64/[]int32 in
+// place. That is only sound when the host is little-endian (the file byte
+// order) and the base pointer is suitably aligned — mmap returns page-aligned
+// memory and the heap fallback allocates word-aligned backing, but both are
+// asserted anyway so a violation fails loudly instead of corrupting reads.
+
+// hostLittleEndian reports whether the running CPU stores multi-byte values
+// least-significant-byte first.
+func hostLittleEndian() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}
+
+// float64View reinterprets b (len divisible by 8, 8-aligned) as []float64.
+func float64View(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 || len(b)%8 != 0 {
+		panic(fmt.Sprintf("store: misaligned float64 view (base %%8=%d, len %d)", uintptr(unsafe.Pointer(&b[0]))%8, len(b)))
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// int32View reinterprets b (len divisible by 4, 4-aligned) as []int32.
+func int32View(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 || len(b)%4 != 0 {
+		panic(fmt.Sprintf("store: misaligned int32 view (base %%4=%d, len %d)", uintptr(unsafe.Pointer(&b[0]))%4, len(b)))
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -8,7 +8,8 @@
 //	smfld -addr :8080 -model air=air.smfl -model fuel=fuel.smfl \
 //	      [-window 2ms] [-maxbatch 256] [-queue 1024] [-iters 100] \
 //	      [-keep-versions 3] [-admit-max-cost 65536] [-admit-min-cost 0] \
-//	      [-target-p95 250ms]
+//	      [-target-p95 250ms] [-timeout 10s] [-max-timeout 60s] \
+//	      [-degraded-fallback auto]
 //
 // Model files are the .smfl artifacts written by `smfl impute -savemodel`
 // (or core.Model.SaveFile). Files written since wire version 2 carry the
@@ -33,8 +34,19 @@
 // default and the Prometheus text exposition when the scraper asks for
 // text/plain.
 //
-// On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
-// requests (pending micro-batches included), and exits.
+// Every impute request runs under a deadline: -timeout by default, or a
+// per-request ?timeout_ms= override clamped to -max-timeout. Expiry anywhere
+// in the lifecycle (parked in the coalescer, mid fold-in) is an honest 504.
+// When the fold-in circuit breaker trips on failures or latency, the daemon
+// degrades instead of falling over: requests are answered from a cheap
+// fallback (-degraded-fallback: the landmark placer's O(L) warm start when
+// the model carries one, column means otherwise, or "off" for 503s) with
+// "degraded": true in the body, while half-open probes test the real path.
+// /healthz reports "ok" or "degraded" with 200 and "draining" with 503.
+//
+// On SIGINT/SIGTERM the server flips /healthz to draining, stops accepting
+// connections, drains in-flight requests (pending micro-batches included),
+// and exits.
 package main
 
 import (
@@ -99,6 +111,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 	admitMax := fs.Int64("admit-max-cost", 65536, "admission window ceiling in observed cells")
 	admitMin := fs.Int64("admit-min-cost", 0, "adaptive admission window floor (0 = max/16)")
 	targetP95 := fs.Duration("target-p95", 250*time.Millisecond, "p95 batch latency target steering the adaptive admission window")
+	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline (override per request with ?timeout_ms=)")
+	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "ceiling for ?timeout_ms= overrides")
+	degradedFallback := fs.String("degraded-fallback", serve.FallbackAuto,
+		"degraded-mode answer source while the fold-in breaker is open: auto (placer when available, else column means), means, or off (503s)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "arm deterministic fault injection in the serve path with this seed (0 = off; testing only)")
 	var models modelFlags
 	fs.Var(&models, "model", "serve a model as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -107,7 +124,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 	if len(models) == 0 {
 		return errors.New("at least one -model name=path is required")
 	}
-
+	switch *degradedFallback {
+	case serve.FallbackAuto, serve.FallbackMeans, serve.FallbackOff:
+	default:
+		return fmt.Errorf("bad -degraded-fallback %q: want auto, means, or off", *degradedFallback)
+	}
 	metrics := serve.NewMetrics()
 	registry := serve.NewRegistry(serve.Config{
 		Window: *window, MaxBatchRows: *maxBatch, QueueDepth: *queue, FoldInIters: *iters,
@@ -115,6 +136,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 		Admission: serve.AdmissionConfig{
 			MaxCost: *admitMax, MinCost: *admitMin, TargetP95: *targetP95,
 		},
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		DegradedFallback: *degradedFallback,
 	}, metrics)
 	defer registry.Close()
 	for _, m := range models {
@@ -131,11 +155,19 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 			m.name, entry.Model.Method, k, cols, entry.Norm != nil, placer, m.path)
 	}
 
+	// Arm chaos only after the initial models loaded: the injected faults
+	// exercise the serving path (including hot reloads), not startup.
+	if *chaosSeed != 0 {
+		defer serve.ArmChaos(*chaosSeed, serve.DefaultChaos())()
+		fmt.Fprintf(stderr, "smfld: chaos fault injection armed (seed %d) — testing only\n", *chaosSeed)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	server := &http.Server{Handler: serve.NewServer(registry, metrics).Handler()}
+	srv := serve.NewServer(registry, metrics)
+	server := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
 	fmt.Fprintf(stderr, "smfld: listening on %s\n", ln.Addr())
@@ -149,6 +181,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(stderr, "smfld: shutting down, draining in-flight requests")
+	// Flip /healthz to draining (503) and shed new impute work before asking
+	// net/http to drain connections — load balancers route away first.
+	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,244 @@
+// Package client is a small retrying HTTP client for smfld: jittered
+// exponential backoff on transport errors and retryable statuses, honoring
+// Retry-After hints, with every wait capped by the caller's context
+// deadline. It exists so e2e tests (and operators scripting against the
+// daemon) get well-behaved retry semantics instead of ad-hoc loops.
+//
+// Retry policy: transport errors and 429/502/503 are retried; 504 is not —
+// the server already spent the request's deadline on it, and replaying a
+// fold-in that may have completed wastes a second budget on duplicate work.
+// 4xx and other 5xx are terminal.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config tunes a Client. Zero values take the defaults below.
+type Config struct {
+	MaxAttempts int           // total tries per Do call (default 4)
+	BaseBackoff time.Duration // first retry's backoff ceiling (default 50ms)
+	MaxBackoff  time.Duration // backoff ceiling after doubling (default 2s)
+	Seed        int64         // jitter stream seed (default 1; fixed seeds make tests deterministic)
+
+	// HTTP is the transport to use; http.DefaultClient when nil. Tests point
+	// it at an httptest server's client.
+	HTTP *http.Client
+	// Sleep, when non-nil, replaces the inter-attempt wait — tests inject a
+	// recorder to assert the backoff schedule without real sleeping. It must
+	// return ctx.Err() if ctx ends before the wait does.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HTTP == nil {
+		c.HTTP = http.DefaultClient
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+// Client retries idempotent-enough smfld requests with full-jitter
+// exponential backoff. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex // guards rng: rand.Rand is not goroutine-safe
+	rng *rand.Rand
+}
+
+// New returns a Client with cfg's defaults applied.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// retryable reports whether a response status is worth another attempt.
+// 504 is deliberately not: the server timed the request out after doing the
+// work's worth of waiting, and the fold-in may have completed server-side.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header as delta-seconds (the only form
+// smfld emits); 0 when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// jitter draws a full-jitter wait in [0, capd).
+func (c *Client) jitter(capd time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if capd <= 0 {
+		return 0
+	}
+	return time.Duration(c.rng.Int63n(int64(capd)))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do sends method+url with body (replayed on each attempt; may be nil) and
+// returns the first terminal response. Retryable failures back off with full
+// jitter doubling from BaseBackoff, never below a Retry-After hint, and
+// never beyond ctx's remaining deadline: when the next wait cannot fit, the
+// last failure is returned immediately instead of burning the caller's
+// budget asleep. The returned response's body is unread; the caller owns
+// closing it.
+func (c *Client) Do(ctx context.Context, method, url string, header http.Header, body []byte) (*http.Response, error) {
+	backoff := c.cfg.BaseBackoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		resp, err := c.cfg.HTTP.Do(req)
+		if err == nil && !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		var hint time.Duration
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+		} else {
+			hint = retryAfter(resp)
+			lastErr = fmt.Errorf("client: %s %s: %s", method, url, resp.Status)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if attempt >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt)
+		}
+		wait := c.jitter(backoff)
+		if wait < hint {
+			wait = hint
+		}
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < wait {
+			return nil, fmt.Errorf("%w (giving up: %v wait exceeds remaining deadline)", lastErr, wait)
+		}
+		if err := c.cfg.Sleep(ctx, wait); err != nil {
+			return nil, fmt.Errorf("%w (interrupted: %v)", lastErr, err)
+		}
+		if backoff < c.cfg.MaxBackoff {
+			backoff *= 2
+			if backoff > c.cfg.MaxBackoff {
+				backoff = c.cfg.MaxBackoff
+			}
+		}
+	}
+}
+
+// PostJSON marshals in, POSTs it, and decodes the response body into out
+// (skipped when out is nil), returning the terminal status code. Error
+// statuses (≥ 400) return the body's "error" field when present.
+func (c *Client) PostJSON(ctx context.Context, url string, in, out any) (int, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	h := http.Header{"Content-Type": []string{"application/json"}}
+	resp, err := c.Do(ctx, http.MethodPost, url, h, payload)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("client: %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// GetJSON GETs url and decodes the response into out (skipped when nil),
+// returning the terminal status code.
+func (c *Client) GetJSON(ctx context.Context, url string, out any) (int, error) {
+	resp, err := c.Do(ctx, http.MethodGet, url, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, fmt.Errorf("client: %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}

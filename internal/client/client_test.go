@@ -1,0 +1,220 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep records requested waits without sleeping.
+func noSleep(waits *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetriesTransientStatusesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{"ok":true}`))
+		}
+	}))
+	defer srv.Close()
+
+	var waits []time.Duration
+	c := New(Config{HTTP: srv.Client(), Seed: 7, Sleep: noSleep(&waits)})
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	status, err := c.PostJSON(context.Background(), srv.URL, map[string]int{"x": 1}, &out)
+	if err != nil || status != http.StatusOK || !out.OK {
+		t.Fatalf("PostJSON = %d, %v, %+v", status, err, out)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("recorded %d waits, want 2", len(waits))
+	}
+	// The 429 carried Retry-After: 1 — the first wait must honor it.
+	if waits[0] < time.Second {
+		t.Errorf("first wait %v ignored Retry-After: 1", waits[0])
+	}
+}
+
+func TestDoesNotRetryTerminalStatuses(t *testing.T) {
+	for _, code := range []int{http.StatusBadRequest, http.StatusNotFound, http.StatusGatewayTimeout, http.StatusInternalServerError} {
+		var calls atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(code)
+		}))
+		var waits []time.Duration
+		c := New(Config{HTTP: srv.Client(), Sleep: noSleep(&waits)})
+		status, err := c.PostJSON(context.Background(), srv.URL, nil, nil)
+		srv.Close()
+		if err == nil {
+			t.Errorf("code %d: want error", code)
+		}
+		if status != code {
+			t.Errorf("code %d: status = %d", code, status)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("code %d: retried a terminal status (%d calls)", code, got)
+		}
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var waits []time.Duration
+	c := New(Config{HTTP: srv.Client(), MaxAttempts: 3, Sleep: noSleep(&waits)})
+	_, err := c.Do(context.Background(), http.MethodGet, srv.URL, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want give-up after 3 attempts", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestBackoffDoublesUpToCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var waits []time.Duration
+	c := New(Config{
+		HTTP: srv.Client(), MaxAttempts: 5, Seed: 3,
+		BaseBackoff: 10 * time.Millisecond, MaxBackoff: 25 * time.Millisecond,
+		Sleep: noSleep(&waits),
+	})
+	c.Do(context.Background(), http.MethodGet, srv.URL, nil, nil)
+	caps := []time.Duration{10, 20, 25, 25} // ms; jittered below these ceilings
+	if len(waits) != len(caps) {
+		t.Fatalf("recorded %d waits, want %d", len(waits), len(caps))
+	}
+	for i, w := range waits {
+		if w >= caps[i]*time.Millisecond {
+			t.Errorf("wait %d = %v, want < %vms (full jitter under the doubling cap)", i, w, caps[i])
+		}
+	}
+}
+
+func TestStopsWhenWaitExceedsDeadline(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	var waits []time.Duration
+	c := New(Config{HTTP: srv.Client(), Sleep: noSleep(&waits)})
+	start := time.Now()
+	_, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "remaining deadline") {
+		t.Fatalf("err = %v, want deadline give-up", err)
+	}
+	// The 30s hint can't fit a 200ms budget: give up immediately, no sleep.
+	if len(waits) != 0 {
+		t.Errorf("slept %v instead of giving up", waits)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("burned %v of the caller's budget", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1", got)
+	}
+}
+
+func TestRetriesTransportErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // every dial now fails
+	var waits []time.Duration
+	c := New(Config{MaxAttempts: 3, Sleep: noSleep(&waits)})
+	_, err := c.Do(context.Background(), http.MethodGet, url, nil, nil)
+	if err == nil {
+		t.Fatal("want transport error")
+	}
+	if len(waits) != 2 {
+		t.Fatalf("recorded %d waits, want 2 (3 attempts)", len(waits))
+	}
+}
+
+func TestPostJSONSurfacesServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"model \"air\" not registered"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := New(Config{HTTP: srv.Client()})
+	status, err := c.PostJSON(context.Background(), srv.URL, nil, nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("status = %d", status)
+	}
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v, want body error surfaced", err)
+	}
+}
+
+func TestBodyReplayedOnRetry(t *testing.T) {
+	var calls atomic.Int64
+	bodies := make(chan string, 2)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := make([]byte, 64)
+		n, _ := r.Body.Read(buf)
+		bodies <- string(buf[:n])
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	var waits []time.Duration
+	c := New(Config{HTTP: srv.Client(), Sleep: noSleep(&waits)})
+	if _, err := c.PostJSON(context.Background(), srv.URL, map[string]int{"x": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	first, second := <-bodies, <-bodies
+	if first != second || !strings.Contains(first, `"x":1`) {
+		t.Fatalf("body not replayed: %q then %q", first, second)
+	}
+}
+
+func TestSleepInterruptedByContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(Config{HTTP: srv.Client(), Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}})
+	_, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+	if err == nil || !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("err = %v, want cancellation give-up", err)
+	}
+}

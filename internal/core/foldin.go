@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -188,6 +189,21 @@ func (m *Model) FoldIn(rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense,
 		}
 	}
 	return u, nil
+}
+
+// FoldInCtx is FoldIn under an explicit context: ctx, when non-nil,
+// overrides Config.Ctx for this call only, cancelling the batch at an
+// iteration boundary with an error wrapping ErrInterrupted. The receiver is
+// not mutated (the override rides a shallow copy), so concurrent FoldInCtx
+// calls against one shared Model — the serving tier's per-batch deadlines —
+// remain safe.
+func (m *Model) FoldInCtx(ctx context.Context, rows *mat.Dense, omega *mat.Mask, iters int) (*mat.Dense, error) {
+	if ctx == nil {
+		return m.FoldIn(rows, omega, iters)
+	}
+	mc := *m
+	mc.Config.Ctx = ctx
+	return mc.FoldIn(rows, omega, iters)
 }
 
 // CompleteRows imputes out-of-sample rows with the fitted model: hidden

@@ -57,6 +57,20 @@ const (
 	// written last, so a failure here leaves a directory with no manifest,
 	// which Open must refuse.
 	ManifestWrite Point = "manifest.write"
+	// ServeBatch fires in the serving tier (internal/serve) before a
+	// coalesced fold-in batch computes, with a *serve.BatchFault payload.
+	// Hooks may return an error (the batch fails, its parked requests get
+	// 500s), panic (the panic-isolation path must contain it to the batch),
+	// or sleep (a slow compute the per-request deadlines must bound).
+	ServeBatch Point = "serve.batch"
+	// ServeRegistryLoad fires inside Registry.LoadFile between reading the
+	// model file and registering it, with the path as payload. An injected
+	// error must leave the previously served version untouched.
+	ServeRegistryLoad Point = "serve.registry.load"
+	// ServeWrite fires before an impute response body is written, with the
+	// model name as payload. An injected error aborts the connection — the
+	// client must see a transport error, never a torn JSON body.
+	ServeWrite Point = "serve.write"
 )
 
 // Hook decides what happens when an armed point is hit. A non-nil error makes

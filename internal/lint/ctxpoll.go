@@ -8,14 +8,19 @@ import (
 // ctxPackages are the packages whose exported context-taking entry points
 // must stay cancellable: a fit that takes a ctx but never polls it inside
 // its iteration loop hangs SIGTERM drains and breaks the PR 4 contract that
-// cancellation surfaces ErrInterrupted at an iteration boundary.
+// cancellation surfaces ErrInterrupted at an iteration boundary. The serve
+// and client packages joined the scope with the deadline-aware request
+// lifecycle: a serve-path loop that ignores its request context outlives
+// the caller's deadline and turns honest 504s into hangs.
 var ctxPackages = []string{
 	"internal/core",
+	"internal/serve",
+	"internal/client",
 }
 
 var checkCtxPoll = Check{
 	Name: "ctxpoll",
-	Doc:  "exported internal/core functions taking a context.Context must observe it in their top-level loops",
+	Doc:  "exported context-taking functions in cancellation-scoped packages must observe their context in top-level loops",
 	run:  runCtxPoll,
 }
 

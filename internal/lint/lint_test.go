@@ -119,8 +119,17 @@ func TestChecksGolden(t *testing.T) {
 			},
 		},
 		{
-			name: "ctxpoll/outside-core", dir: "ctxpoll", path: mod + "/internal/serve", checks: "ctxpoll",
+			name: "ctxpoll/outside-scope", dir: "ctxpoll", path: mod + "/internal/dataset", checks: "ctxpoll",
 			wants: nil,
+		},
+		{
+			// internal/serve entered the ctxpoll scope with the request
+			// lifecycle work: the same fixture findings must fire there.
+			name: "ctxpoll/serve", dir: "ctxpoll", path: mod + "/internal/serve", checks: "ctxpoll",
+			wants: []want{
+				{"poll.go", 10, "ctxpoll"},
+				{"poll.go", 54, "ctxpoll"},
+			},
 		},
 		{
 			name: "floatcmp", dir: "floatcmp", path: mod + "/internal/impute", checks: "floatcmp",

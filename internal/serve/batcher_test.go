@@ -80,7 +80,7 @@ func TestBatcherFlushesAtMaxRows(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := b.Submit(context.Background(), x.Slice(i, i+1, 0, 6), mat.FullMask(1, 6))
+			res, err := b.Submit(context.Background(), x.Slice(i, i+1, 0, 6), mat.FullMask(1, 6), nil)
 			if err != nil {
 				t.Errorf("submit: %v", err)
 				return
@@ -110,7 +110,7 @@ func TestBatcherPropagatesFoldInError(t *testing.T) {
 	// Wrong column count reaches FoldIn (handlers validate, the batcher
 	// itself must still fail cleanly) and the error fans back out.
 	bad := mat.NewDense(1, 5)
-	if _, err := b.Submit(context.Background(), bad, mat.FullMask(1, 5)); err == nil {
+	if _, err := b.Submit(context.Background(), bad, mat.FullMask(1, 5), nil); err == nil {
 		t.Fatal("expected FoldIn shape error")
 	}
 }
@@ -136,7 +136,7 @@ func TestBatcherCloseDrainsAndRejects(t *testing.T) {
 			t.Fatalf("request %d never answered after Close", i)
 		}
 	}
-	if _, err := b.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
+	if _, err := b.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6), nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v, want ErrClosed", err)
 	}
 }
@@ -147,7 +147,7 @@ func TestBatcherContextCancel(t *testing.T) {
 	defer b.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := b.Submit(ctx, x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, context.Canceled) {
+	if _, err := b.Submit(ctx, x.Slice(0, 1, 0, 6), mat.FullMask(1, 6), nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled submit: %v", err)
 	}
 }
@@ -185,7 +185,7 @@ func TestRegistryLifecycle(t *testing.T) {
 	if e, ok := reg.GetVersion("m", 1); !ok || e != first {
 		t.Fatal("previous version not pinnable after swap")
 	}
-	if _, err := first.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); err != nil {
+	if _, err := first.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6), nil); err != nil {
 		t.Fatalf("retained version stopped serving after swap: %v", err)
 	}
 	// A third version pushes the chain past KeepVersions=2: version 1 is
@@ -197,7 +197,7 @@ func TestRegistryLifecycle(t *testing.T) {
 	if _, ok := reg.GetVersion("m", 1); ok {
 		t.Fatal("evicted version still pinnable")
 	}
-	if _, err := first.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
+	if _, err := first.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6), nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("evicted batcher still accepting: %v", err)
 	}
 	if versions, active, ok := reg.Versions("m"); !ok || active != 3 || len(versions) != 2 || versions[0] != 2 || versions[1] != 3 {
@@ -234,7 +234,7 @@ func TestRegistryLifecycle(t *testing.T) {
 	}
 	// Remove drains every retained version, not just the active one.
 	for i, e := range []*Entry{second, third} {
-		if _, err := e.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6)); !errors.Is(err, ErrClosed) {
+		if _, err := e.batcher.Submit(context.Background(), x.Slice(0, 1, 0, 6), mat.FullMask(1, 6), nil); !errors.Is(err, ErrClosed) {
 			t.Fatalf("version %d batcher still accepting after Remove: %v", i+2, err)
 		}
 	}

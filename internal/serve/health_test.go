@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestHealth wires a Health to the fakeClock from admission_test.go so
+// the probe cadence is deterministic.
+func newTestHealth(cfg HealthConfig) (*Health, *fakeClock) {
+	h := NewHealth(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h.now = clk.now
+	return h, clk
+}
+
+func TestHealthTripsOnFailureRate(t *testing.T) {
+	h, _ := newTestHealth(HealthConfig{WindowSize: 8, MinSamples: 4, FailureRate: 0.5})
+	if h.State() != Healthy || h.Breaker() != BreakerClosed || h.Route() != RouteReal {
+		t.Fatal("fresh Health not healthy/closed/real")
+	}
+	// Three failures among four samples: under MinSamples until the fourth.
+	h.Report(false, 0, false)
+	h.Report(false, 0, false)
+	h.Report(true, time.Millisecond, false)
+	if h.State() != Healthy {
+		t.Fatal("tripped below MinSamples")
+	}
+	h.Report(false, 0, false)
+	if h.State() != Degraded || h.Breaker() != BreakerOpen {
+		t.Fatalf("state %v breaker %v after 3/4 failures, want degraded/open", h.State(), h.Breaker())
+	}
+	if h.Trips() != 1 {
+		t.Fatalf("trips = %d", h.Trips())
+	}
+}
+
+func TestHealthTripsOnLatencyP95(t *testing.T) {
+	h, _ := newTestHealth(HealthConfig{WindowSize: 8, MinSamples: 4, FailureRate: 0.99, LatencyP95: 100 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		h.Report(true, 500*time.Millisecond, false) // all succeed, all slow
+	}
+	if h.State() != Degraded {
+		t.Fatal("slow successes did not trip the latency condition")
+	}
+}
+
+func TestHealthProbeCadenceAndRecovery(t *testing.T) {
+	h, clk := newTestHealth(HealthConfig{
+		WindowSize: 4, MinSamples: 2, FailureRate: 0.5,
+		ProbeEvery: 100 * time.Millisecond, ProbeSuccesses: 2,
+	})
+	h.Report(false, 0, false)
+	h.Report(false, 0, false)
+	if h.State() != Degraded {
+		t.Fatal("not degraded")
+	}
+	// Immediately after the trip the probe timer restarts: fallback only.
+	if r := h.Route(); r != RouteFallback {
+		t.Fatalf("route %v right after trip, want fallback", r)
+	}
+	clk.advance(150 * time.Millisecond)
+	if r := h.Route(); r != RouteProbe {
+		t.Fatalf("route %v after ProbeEvery elapsed, want probe", r)
+	}
+	// The slot is claimed: concurrent requests keep falling back.
+	if r := h.Route(); r != RouteFallback {
+		t.Fatalf("route %v while probe in flight, want fallback", r)
+	}
+	// Probe failure resets the count and restarts the cadence.
+	h.Report(false, 0, true)
+	if h.Breaker() != BreakerOpen {
+		t.Fatalf("breaker %v after failed probe, want open", h.Breaker())
+	}
+	clk.advance(150 * time.Millisecond)
+	if r := h.Route(); r != RouteProbe {
+		t.Fatal("no new probe after failed one")
+	}
+	h.Report(true, time.Millisecond, true)
+	if h.Breaker() != BreakerHalfOpen {
+		t.Fatalf("breaker %v after one good probe, want half-open", h.Breaker())
+	}
+	if h.State() != Degraded {
+		t.Fatal("closed after one of two required probe successes")
+	}
+	clk.advance(150 * time.Millisecond)
+	if r := h.Route(); r != RouteProbe {
+		t.Fatal("no second probe")
+	}
+	h.Report(true, time.Millisecond, true)
+	if h.State() != Healthy || h.Breaker() != BreakerClosed {
+		t.Fatalf("state %v breaker %v after recovery, want healthy/closed", h.State(), h.Breaker())
+	}
+	// The window was reset: old failures must not re-trip instantly.
+	h.Report(false, 0, false)
+	if h.State() != Healthy {
+		t.Fatal("stale window survived recovery")
+	}
+}
+
+func TestHealthAbortReleasesProbeSlot(t *testing.T) {
+	h, clk := newTestHealth(HealthConfig{
+		WindowSize: 4, MinSamples: 2, FailureRate: 0.5,
+		ProbeEvery: 100 * time.Millisecond, ProbeSuccesses: 1,
+	})
+	h.Report(false, 0, false)
+	h.Report(false, 0, false)
+	clk.advance(150 * time.Millisecond)
+	if h.Route() != RouteProbe {
+		t.Fatal("no probe")
+	}
+	// The probe was shed before testing the real path: slot released, cadence
+	// backed off so the next probe waits a full interval.
+	h.Abort(true)
+	if h.Route() != RouteFallback {
+		t.Fatal("aborted probe did not back off the cadence")
+	}
+	clk.advance(150 * time.Millisecond)
+	if h.Route() != RouteProbe {
+		t.Fatal("no probe after backoff interval")
+	}
+	h.Report(true, time.Millisecond, true)
+	if h.State() != Healthy {
+		t.Fatal("single-success recovery failed")
+	}
+}
+
+func TestHealthDrainingIsTerminal(t *testing.T) {
+	h, _ := newTestHealth(HealthConfig{WindowSize: 4, MinSamples: 2})
+	h.SetDraining()
+	if h.State() != Draining || !h.Draining() {
+		t.Fatal("not draining")
+	}
+	if h.State().String() != "draining" {
+		t.Fatalf("draining String() = %q", h.State().String())
+	}
+	// Outcomes while draining change nothing.
+	h.Report(false, 0, false)
+	h.Report(false, 0, false)
+	h.Report(false, 0, false)
+	if h.State() != Draining {
+		t.Fatal("left draining")
+	}
+	if h.Breaker() != BreakerClosed {
+		t.Fatalf("breaker %v while draining, want closed (moot)", h.Breaker())
+	}
+}
+
+func TestHealthLateReportsAfterTripIgnored(t *testing.T) {
+	h, _ := newTestHealth(HealthConfig{WindowSize: 4, MinSamples: 2, FailureRate: 0.5, ProbeSuccesses: 1})
+	h.Report(false, 0, false)
+	h.Report(false, 0, false)
+	if h.State() != Degraded {
+		t.Fatal("not degraded")
+	}
+	// A request admitted before the trip reports late: it must not touch the
+	// half-open bookkeeping.
+	h.Report(true, time.Millisecond, false)
+	if h.Breaker() != BreakerOpen {
+		t.Fatalf("late non-probe report moved the breaker to %v", h.Breaker())
+	}
+}

@@ -77,6 +77,9 @@ type Metrics struct {
 	queueDepth    int64
 	admitRejects  uint64
 	shedCost      uint64
+	timeouts      uint64
+	panics        uint64
+	degraded      uint64
 	modelVersions map[string]int
 }
 
@@ -160,6 +163,30 @@ func (m *Metrics) AdmissionRejected(cost int64) {
 	m.mu.Unlock()
 }
 
+// Timeout counts one request that exceeded its deadline (answered 504, or
+// abandoned by a disconnected client) anywhere in the impute lifecycle.
+func (m *Metrics) Timeout() {
+	m.mu.Lock()
+	m.timeouts++
+	m.mu.Unlock()
+}
+
+// PanicRecovered counts one batch compute panic contained by the batcher's
+// isolation (the batch failed, the daemon kept serving).
+func (m *Metrics) PanicRecovered() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// DegradedServed counts one impute request answered from the degraded-mode
+// fallback instead of the real fold-in path.
+func (m *Metrics) DegradedServed() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
+}
+
 // SetModelVersion records the active version of a served model (a gauge on
 // /metrics; rollbacks move it backwards).
 func (m *Metrics) SetModelVersion(name string, version int) {
@@ -202,6 +229,14 @@ type Snapshot struct {
 	AdmissionWindowCost   int64          `json:"admission_window_cost"`
 	AdmissionInflightCost int64          `json:"admission_inflight_cost"`
 	ModelVersions         map[string]int `json:"model_versions"`
+
+	TimeoutsTotal uint64 `json:"timeouts_total"`
+	PanicsTotal   uint64 `json:"panics_total"`
+	DegradedTotal uint64 `json:"degraded_responses_total"`
+	// Health and BreakerState are filled in by the HTTP handler from the
+	// live Health state machine, like the admission gauges above.
+	Health       string `json:"health"`
+	BreakerState int    `json:"breaker_state"`
 }
 
 // Snapshot returns a consistent copy of all counters.
@@ -235,6 +270,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		QueueDepth:          m.queueDepth,
 		AdmissionRejections: m.admitRejects,
 		ShedCostTotal:       m.shedCost,
+		TimeoutsTotal:       m.timeouts,
+		PanicsTotal:         m.panics,
+		DegradedTotal:       m.degraded,
 		ModelVersions:       versions,
 	}
 }

@@ -58,6 +58,15 @@ func WritePrometheus(w io.Writer, snap Snapshot) {
 	family(w, "smfld_admission_inflight_cost", "gauge", "Admitted observed-cell cost currently in flight.")
 	sample(w, "smfld_admission_inflight_cost", "", strconv.FormatInt(snap.AdmissionInflightCost, 10))
 
+	family(w, "smfld_timeouts_total", "counter", "Requests that exceeded their deadline (504 or abandoned by the client).")
+	sample(w, "smfld_timeouts_total", "", strconv.FormatUint(snap.TimeoutsTotal, 10))
+	family(w, "smfld_panics_total", "counter", "Batch compute panics contained by the batcher's isolation.")
+	sample(w, "smfld_panics_total", "", strconv.FormatUint(snap.PanicsTotal, 10))
+	family(w, "smfld_degraded_responses_total", "counter", "Impute requests answered from the degraded-mode fallback.")
+	sample(w, "smfld_degraded_responses_total", "", strconv.FormatUint(snap.DegradedTotal, 10))
+	family(w, "smfld_breaker_state", "gauge", "Fold-in circuit breaker state: 0 closed, 1 half-open, 2 open.")
+	sample(w, "smfld_breaker_state", "", strconv.Itoa(snap.BreakerState))
+
 	models := make([]string, 0, len(snap.ModelVersions))
 	for name := range snap.ModelVersions {
 		models = append(models, name)

@@ -61,6 +61,11 @@ func goldenSnapshot() Snapshot {
 		AdmissionWindowCost:   32768,
 		AdmissionInflightCost: 96,
 		ModelVersions:         map[string]int{"air": 3, "fuel": 1},
+		TimeoutsTotal:         4,
+		PanicsTotal:           1,
+		DegradedTotal:         9,
+		Health:                "degraded",
+		BreakerState:          2,
 	}
 }
 
@@ -226,10 +231,16 @@ func TestPrometheusMatchesJSON(t *testing.T) {
 	m.AdmissionRejected(12)
 	m.AdmissionRejected(30)
 	m.SetModelVersion("air", 2)
+	m.Timeout()
+	m.Timeout()
+	m.PanicRecovered()
+	m.DegradedServed()
 
 	snap := m.Snapshot()
 	snap.AdmissionWindowCost = 1024
 	snap.AdmissionInflightCost = 6
+	snap.Health = "ok"
+	snap.BreakerState = int(BreakerClosed)
 	var buf bytes.Buffer
 	WritePrometheus(&buf, snap)
 	validatePromText(t, buf.String())
@@ -265,6 +276,10 @@ func TestPrometheusMatchesJSON(t *testing.T) {
 		`smfld_admission_inflight_cost`:    float64(snap.AdmissionInflightCost),
 		`smfld_model_version{model="air"}`: float64(snap.ModelVersions["air"]),
 		`smfld_inflight_requests`:          float64(snap.Inflight),
+		`smfld_timeouts_total`:             float64(snap.TimeoutsTotal),
+		`smfld_panics_total`:               float64(snap.PanicsTotal),
+		`smfld_degraded_responses_total`:   float64(snap.DegradedTotal),
+		`smfld_breaker_state`:              float64(snap.BreakerState),
 	}
 	for key, want := range expect {
 		got, ok := samples[key]
@@ -289,5 +304,8 @@ func TestPrometheusMatchesJSON(t *testing.T) {
 	}
 	if samples[`smfld_admission_rejections_total`] != 2 || samples[`smfld_admission_shed_cost_total`] != 42 {
 		t.Error("admission shed counters wrong")
+	}
+	if samples[`smfld_timeouts_total`] != 2 || samples[`smfld_panics_total`] != 1 || samples[`smfld_degraded_responses_total`] != 1 {
+		t.Error("robustness counters wrong")
 	}
 }

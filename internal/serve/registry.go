@@ -14,6 +14,7 @@ import (
 
 	"github.com/spatialmf/smfl/internal/core"
 	"github.com/spatialmf/smfl/internal/dataset"
+	"github.com/spatialmf/smfl/internal/faultinject"
 )
 
 // Registry errors surfaced to the admin handlers.
@@ -38,6 +39,11 @@ type Config struct {
 	FoldInIters  int             // FoldIn iteration cap per batch (default 100)
 	KeepVersions int             // model versions retained per name for rollback/pinning (default 3)
 	Admission    AdmissionConfig // cost-aware admission control (see AdmissionConfig)
+
+	DefaultTimeout   time.Duration // per-request deadline when ?timeout_ms= is absent (default 10s)
+	MaxTimeout       time.Duration // ceiling for ?timeout_ms= overrides (default 60s)
+	Health           HealthConfig  // circuit breaker driving the health state machine
+	DegradedFallback string        // FallbackAuto (default), FallbackMeans, or FallbackOff
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +62,19 @@ func (c Config) withDefaults() Config {
 	if c.KeepVersions <= 0 {
 		c.KeepVersions = 3
 	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout < c.DefaultTimeout {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.DegradedFallback == "" {
+		c.DegradedFallback = FallbackAuto
+	}
+	c.Health = c.Health.withDefaults()
 	c.Admission = c.Admission.withDefaults()
 	return c
 }
@@ -74,6 +93,7 @@ type Entry struct {
 	Norm     *dataset.Normalizer
 	LoadedAt time.Time
 	batcher  *batcher
+	fallback *fallback // degraded-mode answer path, built at registration
 }
 
 // modelVersions is the per-name version chain: entries ascending by Version
@@ -138,6 +158,7 @@ func (r *Registry) Register(name string, model *core.Model, path string) (*Entry
 		Norm:     norm,
 		LoadedAt: time.Now(),
 		batcher:  newBatcher(model, r.cfg, r.metrics),
+		fallback: newFallback(model),
 	}
 	r.mu.Lock()
 	mv := r.models[name]
@@ -171,6 +192,14 @@ func (r *Registry) LoadFile(name, path string) (*Entry, error) {
 	model, err := core.LoadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: load %q from %s: %w", name, path, err)
+	}
+	if faultinject.Enabled() {
+		// An injected load failure must behave exactly like a real one:
+		// error out before Register so the previously served version (if
+		// any) stays active and untouched.
+		if err := faultinject.Fire(faultinject.ServeRegistryLoad, path); err != nil {
+			return nil, fmt.Errorf("serve: load %q from %s: %w", name, path, err)
+		}
 	}
 	return r.Register(name, model, path)
 }

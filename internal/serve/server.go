@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/spatialmf/smfl/internal/core"
+	"github.com/spatialmf/smfl/internal/faultinject"
 	"github.com/spatialmf/smfl/internal/mat"
 )
 
@@ -17,33 +20,44 @@ import (
 //
 //	POST   /v1/models/{name}/impute          fold-in + complete rows (micro-batched,
 //	                                         cost-aware admission; ?version=N pins a
-//	                                         retained version for A/B routing)
+//	                                         retained version for A/B routing;
+//	                                         ?timeout_ms=N overrides the per-request
+//	                                         deadline, clamped to Config.MaxTimeout)
 //	GET    /v1/models                        list registered models + retained versions
 //	POST   /admin/models/{name}              load or hot-swap a model from a path
 //	POST   /admin/models/{name}/rollback     revert to the previous retained version
 //	DELETE /admin/models/{name}              unregister a model (all versions)
 //	GET    /metrics                          JSON by default; Prometheus text exposition
 //	                                         when Accept asks for text/plain or openmetrics
-//	GET    /healthz                          liveness
+//	GET    /healthz                          health state: 200 ok/degraded, 503 draining
 //
-// Overload (admission window or model queue full) is answered with 429, a
-// Retry-After header, and one shared JSON body shape carrying the same
-// retry hint.
+// Every impute request runs under a deadline (the server default or a
+// clamped ?timeout_ms= override) threaded through admission, the coalescer,
+// and core.FoldIn; expiry anywhere surfaces as an honest 504. Overload
+// (admission window or model queue full) is answered with 429, a Retry-After
+// header clamped to the requester's remaining budget, and one shared JSON
+// body shape carrying the same retry hint. When the fold-in circuit breaker
+// trips, requests are answered from the degraded fallback with
+// "degraded": true until half-open probes recover the real path.
 type Server struct {
 	registry  *Registry
 	metrics   *Metrics
 	admission *Admission
+	health    *Health
+	cfg       Config
 	mux       *http.ServeMux
 }
 
 // NewServer wires the handlers onto a fresh mux. metrics must be the same
-// instance the registry's batchers report to; the admission controller is
-// built from the registry's AdmissionConfig.
+// instance the registry's batchers report to; the admission controller and
+// health state machine are built from the registry's Config.
 func NewServer(registry *Registry, metrics *Metrics) *Server {
 	s := &Server{
 		registry:  registry,
 		metrics:   metrics,
 		admission: NewAdmission(registry.cfg.Admission),
+		health:    NewHealth(registry.cfg.Health),
+		cfg:       registry.cfg,
 		mux:       http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
@@ -63,6 +77,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // gauges, tests).
 func (s *Server) Admission() *Admission { return s.admission }
 
+// Health exposes the server's health state machine (read-only use: gauges,
+// tests; the daemon calls BeginDrain instead of mutating it directly).
+func (s *Server) Health() *Health { return s.health }
+
+// BeginDrain moves the server into the draining state: /healthz answers 503
+// so load balancers stop routing here, and new impute requests get clean
+// 503s while in-flight ones finish. Call before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.health.SetDraining() }
+
 // statusWriter captures the response code for error accounting.
 type statusWriter struct {
 	http.ResponseWriter
@@ -79,15 +102,37 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		s.metrics.BeginRequest()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			// Settle the metrics even when the handler aborts the connection
+			// (http.ErrAbortHandler on an injected write fault) or a handler
+			// bug panics — then re-panic so net/http tears the connection
+			// down instead of leaving a torn body.
+			if p := recover(); p != nil {
+				s.metrics.EndRequest(name, time.Since(start), true)
+				panic(p)
+			}
+			s.metrics.EndRequest(name, time.Since(start), sw.code >= 400)
+		}()
 		h(sw, r)
-		s.metrics.EndRequest(name, time.Since(start), sw.code >= 400)
 	}
 }
 
+// writeJSON marshals v fully before touching the socket and writes it in one
+// call with an exact Content-Length, so a failed or aborted write can never
+// leave a client parsing a torn JSON body — it sees a transport error
+// instead (chaos-tested invariant).
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the server's own response types; abort rather
+		// than improvise a body.
+		panic(http.ErrAbortHandler)
+	}
+	buf = append(buf, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	w.Write(buf)
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -103,9 +148,17 @@ type overloadBody struct {
 }
 
 // writeOverloaded answers 429 with a Retry-After header (whole seconds,
-// minimum 1) and the shared overload body.
-func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
+// minimum 1) and the shared overload body. budget, when positive, is the
+// requester's remaining deadline (an explicit ?timeout_ms= override): the
+// hint is clamped to it so a client is never told to retry after its own
+// budget expires.
+func writeOverloaded(w http.ResponseWriter, retryAfter, budget time.Duration, format string, args ...any) {
 	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if budget > 0 {
+		if max := int64(budget.Seconds()); secs > max {
+			secs = max
+		}
+	}
 	if secs < 1 {
 		secs = 1
 	}
@@ -117,7 +170,18 @@ func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration, format str
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.registry.Len()})
+	state := s.health.State()
+	code := http.StatusOK
+	if state == Draining {
+		// 503 tells load balancers to stop routing here while the drain
+		// finishes; degraded stays 200 — the fallback is still answering.
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  state.String(),
+		"breaker": int(s.health.Breaker()),
+		"models":  s.registry.Len(),
+	})
 }
 
 // wantsPrometheus reports whether the client asked for the text exposition:
@@ -135,6 +199,8 @@ func wantsPrometheus(r *http.Request) bool {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.AdmissionWindowCost, snap.AdmissionInflightCost = s.admission.State()
+	snap.Health = s.health.State().String()
+	snap.BreakerState = int(s.health.Breaker())
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", PromContentType)
 		WritePrometheus(w, snap)
@@ -242,9 +308,38 @@ type imputeResponse struct {
 	Filled       int         `json:"filled"`
 	BatchRows    int         `json:"batch_rows"`
 	Units        string      `json:"units"` // "original" or "normalized"
+	// Degraded marks a response answered from the cheap fallback while the
+	// fold-in circuit breaker is open; Fallback names the source used
+	// ("means" or "placer").
+	Degraded bool   `json:"degraded,omitempty"`
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// requestTimeout resolves the per-request deadline: the server default, or a
+// positive ?timeout_ms= override clamped to Config.MaxTimeout. explicit
+// reports whether the client set its own budget (which also clamps
+// Retry-After hints).
+func (s *Server) requestTimeout(r *http.Request) (d time.Duration, explicit bool, err error) {
+	v := r.URL.Query().Get("timeout_ms")
+	if v == "" {
+		return s.cfg.DefaultTimeout, false, nil
+	}
+	ms, perr := strconv.ParseInt(v, 10, 64)
+	if perr != nil || ms <= 0 {
+		return 0, false, fmt.Errorf("bad timeout_ms %q: want a positive integer", v)
+	}
+	d = time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, true, nil
 }
 
 func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
+	if s.health.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
 	name := r.PathValue("name")
 	var entry *Entry
 	var ok bool
@@ -262,6 +357,11 @@ func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "model %q not registered", name)
 		return
 	}
+	timeout, explicit, terr := s.requestTimeout(r)
+	if terr != nil {
+		writeError(w, http.StatusBadRequest, "%v", terr)
+		return
+	}
 	var req imputeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -272,30 +372,89 @@ func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cost := requestCost(mask)
-	if admitted, retryAfter := s.admission.Admit(cost); !admitted {
-		s.metrics.AdmissionRejected(cost)
-		writeOverloaded(w, retryAfter, "admission window full (cost %d)", cost)
+	budget := time.Duration(0)
+	if explicit {
+		budget = timeout
+	}
+
+	// Degraded mode: answer from the fallback without touching admission or
+	// the coalescer — a wedged fold-in path must not block the cheap path.
+	// Half-open probes continue down the real path below.
+	route := s.health.Route()
+	if route == RouteFallback {
+		if s.cfg.DegradedFallback == FallbackOff {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "service degraded: fold-in circuit open and degraded fallback disabled")
+			return
+		}
+		s.serveFallback(w, r, name, entry, rows, mask)
 		return
 	}
+	probe := route == RouteProbe
+
+	// The request context carries both the client's connection (disconnect
+	// cancels) and the resolved deadline; it is threaded through the
+	// coalescer into core.FoldIn.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	cost := requestCost(mask)
+	if admitted, retryAfter := s.admission.Admit(cost); !admitted {
+		s.health.Abort(probe)
+		s.metrics.AdmissionRejected(cost)
+		writeOverloaded(w, retryAfter, budget, "admission window full (cost %d)", cost)
+		return
+	}
+	// Once Submit enqueues the request, the batcher owns releasing its
+	// admission cost — including requests dropped from a parked batch after
+	// their deadline, whose cost returns to the window without a compute.
+	release := func(computed bool, batchLatency time.Duration) {
+		if computed {
+			s.admission.Release(cost, batchLatency)
+		} else {
+			s.admission.ReleaseDropped(cost)
+		}
+	}
 	start := time.Now()
-	res, err := entry.batcher.Submit(r.Context(), rows, mask)
+	res, err := entry.batcher.Submit(ctx, rows, mask, release)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		s.admission.ReleaseDropped(cost)
+		s.health.Abort(probe)
 		s.metrics.AdmissionRejected(cost)
-		writeOverloaded(w, s.admission.RetryAfter(cost), "model %q queue full", name)
+		writeOverloaded(w, s.admission.RetryAfter(cost), budget, "model %q queue full", name)
 		return
 	case errors.Is(err, ErrClosed):
 		s.admission.ReleaseDropped(cost)
+		s.health.Abort(probe)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
+	case errors.Is(err, context.Canceled):
+		// Client disconnected while parked or computing: nobody reads the
+		// response, but the lifecycle still settles (timeout accounting; the
+		// breaker is not charged — the server did nothing wrong).
+		s.health.Abort(probe)
+		s.metrics.Timeout()
+		writeError(w, http.StatusGatewayTimeout, "client went away")
+		return
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, core.ErrInterrupted):
+		// The request's own deadline expired (parked too long, or the whole
+		// batch was cancelled — possible only once every member's deadline
+		// passed). An honest 504, and a slowness signal for the breaker.
+		s.health.Report(false, time.Since(start), probe)
+		s.metrics.Timeout()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", timeout)
+		return
+	case errors.Is(err, ErrComputePanic):
+		s.health.Report(false, time.Since(start), probe)
+		writeError(w, http.StatusInternalServerError, "fold-in failed: %v", err)
+		return
 	case err != nil:
-		s.admission.Release(cost, time.Since(start))
+		s.health.Report(false, time.Since(start), probe)
 		writeError(w, http.StatusInternalServerError, "fold-in failed: %v", err)
 		return
 	}
-	s.admission.Release(cost, time.Since(start))
+	s.health.Report(true, time.Since(start), probe)
 	units := "normalized"
 	if entry.Norm != nil {
 		entry.Norm.Invert(res.completed)
@@ -311,6 +470,41 @@ func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Coefficients {
 		resp.Coefficients = toRows(res.coeff)
+	}
+	s.writeImpute(w, name, resp)
+}
+
+// serveFallback answers one impute request from the degraded path: observed
+// cells echo, hidden cells take the placer warm-start prediction or column
+// means, and the response is explicitly marked degraded.
+func (s *Server) serveFallback(w http.ResponseWriter, r *http.Request, name string, entry *Entry, rows *mat.Dense, mask *mat.Mask) {
+	usePlacer := s.cfg.DegradedFallback != FallbackMeans
+	completed, source := entry.fallback.complete(rows, mask, usePlacer)
+	units := "normalized"
+	if entry.Norm != nil {
+		entry.Norm.Invert(completed)
+		units = "original"
+	}
+	s.metrics.DegradedServed()
+	s.writeImpute(w, name, imputeResponse{
+		Model:    name,
+		Version:  entry.Version,
+		Rows:     toRows(completed),
+		Filled:   mask.CountHidden(),
+		Units:    units,
+		Degraded: true,
+		Fallback: source,
+	})
+}
+
+// writeImpute writes a successful impute response through the torn-body
+// guard: an injected write fault aborts the connection so the client sees a
+// transport error, never a truncated JSON document.
+func (s *Server) writeImpute(w http.ResponseWriter, name string, resp imputeResponse) {
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(faultinject.ServeWrite, name); err != nil {
+			panic(http.ErrAbortHandler)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
